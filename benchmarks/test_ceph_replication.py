@@ -1,0 +1,74 @@
+"""§7.3.4: replication latency in Ceph-style distributed storage.
+
+Paper measurement: 4 KB random writes on an idle system with Intel DC
+S3700 SSDs improve from 160±54 µs (primary-backup chain: 3 sequential
+disk writes + 3 RTTs) to 58±28 µs (1Pipe parallel replication: 1 disk
+write + 1 RTT) — a 64% reduction.
+"""
+
+import statistics
+
+import pytest
+
+from repro.apps.ceph import CephBaseline, CephOnePipe
+from repro.bench import print_table, save_results, Series
+from repro.net import build_testbed
+from repro.onepipe import OnePipeCluster
+from repro.sim import Simulator
+
+N_WRITES = 80
+SPACING_NS = 700_000
+
+
+def measure(system: str):
+    sim = Simulator(seed=1200)
+    if system == "1Pipe":
+        cluster = OnePipeCluster(sim, n_processes=4)
+        ceph = CephOnePipe(cluster)
+        client = 3
+    else:
+        topo = build_testbed(sim)
+        ceph = CephBaseline(sim, topo)
+        client = 0
+    latencies = []
+
+    def write(i):
+        t0 = sim.now
+        ceph.write(client, f"obj{i}").add_callback(
+            lambda f: latencies.append(sim.now - t0)
+        )
+
+    for i in range(N_WRITES):
+        sim.schedule(100_000 + i * SPACING_NS, write, i)
+    sim.run(until=100_000 + (N_WRITES + 3) * SPACING_NS)
+    return latencies
+
+
+def run_ceph():
+    return measure("base"), measure("1Pipe")
+
+
+def test_ceph_write_latency(benchmark):
+    base, onepipe = benchmark.pedantic(run_ceph, rounds=1, iterations=1)
+    base_mean = statistics.mean(base) / 1000
+    base_std = statistics.stdev(base) / 1000
+    op_mean = statistics.mean(onepipe) / 1000
+    op_std = statistics.stdev(onepipe) / 1000
+    reduction = 1 - op_mean / base_mean
+    print("\n### Ceph 4KB random-write latency (3 replicas)")
+    print(f"  {'system':>22} {'measured':>16} {'paper':>14}")
+    print(f"  {'primary-backup chain':>22} {base_mean:7.0f}+-{base_std:<4.0f} us"
+          f" {'160+-54 us':>14}")
+    print(f"  {'1Pipe parallel':>22} {op_mean:7.0f}+-{op_std:<4.0f} us"
+          f" {'58+-28 us':>14}")
+    print(f"  latency reduction: {reduction:.0%} (paper: 64%)")
+    save_results("ceph", {
+        "baseline_us": {"mean": base_mean, "std": base_std},
+        "onepipe_us": {"mean": op_mean, "std": op_std},
+        "reduction": reduction,
+    })
+    assert len(base) == N_WRITES and len(onepipe) == N_WRITES
+    # Within the paper's bands (loosely).
+    assert 100 < base_mean < 230
+    assert 40 < op_mean < 110
+    assert reduction > 0.35

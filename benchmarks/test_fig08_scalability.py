@@ -1,0 +1,187 @@
+"""Fig. 8: scalability comparison of total order broadcast algorithms.
+
+Paper setup: all-to-all traffic where every process broadcasts 64-byte
+messages to all processes; Fig. 8a reports *delivered messages per
+second per process* and Fig. 8b delivery latency, for 1Pipe (best effort
+and reliable) against a switch sequencer, a host sequencer, a token
+ring, and Lamport timestamps.
+
+Scaling substitution (documented in EXPERIMENTS.md): process counts are
+2..64 instead of 2..512 and the per-message CPU cost is 1 µs instead of
+0.2 µs (everything below the ordering layer scales with it, including
+the sequencer cost model) — the claims under test are the *shapes*:
+1Pipe per-process throughput stays flat; sequencers decline like 1/N
+after saturation and their latency soars; token collapses; Lamport pays
+latency for throughput.
+"""
+
+import pytest
+
+from repro.baselines import (
+    LamportBroadcast,
+    SequencerBroadcast,
+    TokenRingBroadcast,
+)
+from repro.bench import LatencyProbe, Series, print_table, save_results
+from repro.net import build_testbed
+from repro.onepipe import OnePipeCluster, OnePipeConfig
+from repro.sim import Simulator
+
+NS = [2, 4, 8, 16, 32, 64]
+CPU_NS = 1_000                 # scaled member CPU (paper: 200 ns)
+RECEIVER_CAP = 1e9 / CPU_NS    # msg/s a process can deliver
+WARMUP_NS = 200_000
+WINDOW_NS = 800_000
+PROBE_EVERY = 16
+
+
+def offered_broadcast_interval(n: int) -> int:
+    """Per-process broadcast interval offering receivers ~90% of their
+    CPU capacity (the paper reports latency near peak throughput; an
+    open-loop overload would only measure unbounded queueing)."""
+    rate = 0.9 * RECEIVER_CAP / n
+    return max(200, int(1e9 / rate))
+
+
+def run_onepipe(n: int, reliable: bool):
+    sim = Simulator(seed=100 + n)
+    config = OnePipeConfig(cpu_ns_per_msg=CPU_NS)
+    cluster = OnePipeCluster(sim, n_processes=n, config=config)
+    delivered = [0]
+    probe = LatencyProbe(sim)
+    for i in range(n):
+        def cb(message, i=i):
+            if sim.now >= WARMUP_NS:
+                delivered[0] += 1
+            if isinstance(message.payload, tuple) and message.payload[0] == "p":
+                probe.mark_delivered((i, message.src, message.payload[1]))
+
+        cluster.endpoint(i).on_recv(cb)
+    interval = offered_broadcast_interval(n)
+    state = {"k": 0}
+
+    def blast(sender: int):
+        k = state["k"]
+        state["k"] += 1
+        if k % PROBE_EVERY == 0:
+            payload = ("p", k)
+            for d in range(n):
+                if d != sender:
+                    probe.mark_sent((d, sender, k))
+        else:
+            payload = k
+        entries = [(d, payload) for d in range(n) if d != sender]
+        ep = cluster.endpoint(sender)
+        (ep.reliable_send if reliable else ep.unreliable_send)(entries)
+
+    for sender in range(n):
+        sim.every(interval, blast, sender, phase=sender * interval // n)
+    sim.run(until=WARMUP_NS + WINDOW_NS)
+    per_proc = delivered[0] / n * 1e9 / WINDOW_NS
+    return per_proc, probe.mean_us()
+
+
+def run_baseline(kind: str, n: int):
+    sim = Simulator(seed=100 + n)
+    topo = build_testbed(sim)
+    if kind == "SwitchSeq":
+        # Sequencer cost models scale with the member-CPU scaling (5x).
+        group = SequencerBroadcast(sim, topo, n, kind="switch",
+                                   cpu_ns_per_msg=CPU_NS,
+                                   sequencer_cpu_ns=40)
+    elif kind == "HostSeq":
+        group = SequencerBroadcast(sim, topo, n, kind="host",
+                                   cpu_ns_per_msg=CPU_NS,
+                                   sequencer_cpu_ns=CPU_NS)
+    elif kind == "Token":
+        group = TokenRingBroadcast(sim, topo, n, cpu_ns_per_msg=CPU_NS)
+        group.start()
+    elif kind == "Lamport":
+        group = LamportBroadcast(sim, topo, n, cpu_ns_per_msg=CPU_NS,
+                                 exchange_interval_ns=20_000)
+    else:
+        raise ValueError(kind)
+    delivered = [0]
+    probe = LatencyProbe(sim)
+
+    def on_deliver(member, _key, src, payload):
+        if sim.now >= WARMUP_NS:
+            delivered[0] += 1
+        if isinstance(payload, tuple) and payload[0] == "p":
+            probe.mark_delivered((member, src, payload[1]))
+
+    group.deliver_callback = on_deliver
+    interval = offered_broadcast_interval(n)
+    state = {"k": 0}
+
+    def blast(sender: int):
+        k = state["k"]
+        state["k"] += 1
+        if k % PROBE_EVERY == 0:
+            payload = ("p", k)
+            for member in range(n):
+                probe.mark_sent((member, sender, k))
+        else:
+            payload = k
+        group.broadcast(sender, payload)
+
+    for sender in range(n):
+        sim.every(interval, blast, sender, phase=sender * interval // n)
+    sim.run(until=WARMUP_NS + WINDOW_NS)
+    per_proc = delivered[0] / n * 1e9 / WINDOW_NS
+    return per_proc, probe.mean_us()
+
+
+SYSTEMS = ["1Pipe/BE", "1Pipe/R", "SwitchSeq", "HostSeq", "Token", "Lamport"]
+
+
+def run_figure8():
+    tput = {name: Series(name) for name in SYSTEMS}
+    latency = {name: Series(name) for name in SYSTEMS}
+    for n in NS:
+        for name in SYSTEMS:
+            if name == "1Pipe/BE":
+                per_proc, lat = run_onepipe(n, reliable=False)
+            elif name == "1Pipe/R":
+                per_proc, lat = run_onepipe(n, reliable=True)
+            else:
+                per_proc, lat = run_baseline(name, n)
+            tput[name].add(n, per_proc / 1e6)       # M msg/s/process
+            latency[name].add(n, lat)               # us
+    return tput, latency
+
+
+def test_fig08_total_order_broadcast_scalability(benchmark):
+    tput, latency = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    print_table(
+        "Fig 8a: broadcast throughput per process (M msg/s)",
+        "processes",
+        [tput[name] for name in SYSTEMS],
+    )
+    print_table(
+        "Fig 8b: broadcast delivery latency (us)",
+        "processes",
+        [latency[name] for name in SYSTEMS],
+        fmt="{:>12.1f}",
+    )
+    save_results("fig08", {
+        "throughput_Mmsgs_per_proc": {k: v.as_dict() for k, v in tput.items()},
+        "latency_us": {k: v.as_dict() for k, v in latency.items()},
+    })
+
+    # Shape claims (paper §7.2):
+    onepipe = tput["1Pipe/BE"].ys()
+    # 1) 1Pipe per-process throughput is flat (scales linearly in total):
+    assert min(onepipe) > 0.5 * max(onepipe)
+    # 2) the host sequencer collapses at scale; 1Pipe wins big:
+    assert onepipe[-1] > 2 * tput["HostSeq"].ys()[-1]
+    # 3) the switch sequencer saturates and falls off its flat region:
+    switch_seq = tput["SwitchSeq"].ys()
+    assert switch_seq[-1] < 0.8 * max(switch_seq)
+    assert onepipe[-1] > switch_seq[-1]
+    # 4) token ring collapses with N:
+    assert tput["Token"].ys()[-1] < onepipe[-1] / 2
+    # 5) reliable 1Pipe is within ~the paper's 25% of best effort:
+    assert tput["1Pipe/R"].ys()[-1] > 0.5 * onepipe[-1]
+    # 6) Lamport trades latency for throughput: far above 1Pipe at scale:
+    assert latency["Lamport"].ys()[-1] > latency["1Pipe/BE"].ys()[-1]

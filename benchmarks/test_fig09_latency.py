@@ -1,0 +1,191 @@
+"""Fig. 9: message delivery latency of 1Pipe variants.
+
+- Fig. 9a: idle-system delivery latency for best-effort and reliable
+  1Pipe under the programmable-chip and host-delegation incarnations,
+  against an unordered baseline, at process counts exercising 1, 3, and
+  5 network hops.
+- Fig. 9b: latency under packet loss rates 1e-8 .. 1e-1 (loss injected
+  in the lib1pipe receiver, the paper's methodology).
+- §7.2 text: the out-of-order arrival fraction motivating barriers
+  (paper: 57% with 8 senders and one receiver).
+"""
+
+import pytest
+
+from repro.bench import LatencyProbe, Series, print_table, save_results
+from repro.net import Messenger, build_testbed
+from repro.onepipe import OnePipeCluster, OnePipeConfig
+from repro.sim import Simulator
+
+PROCESS_COUNTS = [8, 16, 32, 64]  # 1 / 3 / 5 / 5 hops (scaled from 512)
+N_PROBES = 30
+PROBE_SPACING_NS = 10_000
+
+
+def measure_onepipe(n: int, mode: str, reliable: bool, loss: float = 0.0):
+    sim = Simulator(seed=300 + n)
+    cluster = OnePipeCluster(
+        sim, n_processes=n, config=OnePipeConfig(mode=mode)
+    )
+    if loss:
+        cluster.set_receiver_loss_rate(loss)
+    probe = LatencyProbe(sim)
+    for i in range(n):
+        cluster.endpoint(i).on_recv(
+            lambda m, i=i: probe.mark_delivered((i, m.payload))
+        )
+
+    def send(k):
+        sender = k % n
+        dst = (sender + n // 2 + 1) % n  # far destination
+        probe.mark_sent((dst, k))
+        ep = cluster.endpoint(sender)
+        (ep.reliable_send if reliable else ep.unreliable_send)([(dst, k)])
+
+    for k in range(N_PROBES):
+        sim.schedule(50_000 + k * PROBE_SPACING_NS, send, k)
+    # Loss runs need headroom for retransmissions / barrier stalls.
+    sim.run(until=50_000 + N_PROBES * PROBE_SPACING_NS + 3_000_000)
+    return probe
+
+
+def measure_unordered(n: int):
+    sim = Simulator(seed=300 + n)
+    topo = build_testbed(sim)
+    hosts = topo.assign_hosts(n)
+    probe = LatencyProbe(sim)
+    messengers = []
+    for i, host in enumerate(hosts):
+        m = Messenger(host, 20_000_000 + i, cpu_ns_per_msg=0)
+        m.on("probe", lambda src, body, i=i: probe.mark_delivered((i, body)))
+        messengers.append(m)
+
+    def send(k):
+        sender = k % n
+        dst = (sender + n // 2 + 1) % n
+        probe.mark_sent((dst, k))
+        messengers[sender].send(
+            20_000_000 + dst, hosts[dst].node_id, "probe", k
+        )
+
+    for k in range(N_PROBES):
+        sim.schedule(50_000 + k * PROBE_SPACING_NS, send, k)
+    sim.run(until=50_000 + N_PROBES * PROBE_SPACING_NS + 500_000)
+    return probe
+
+
+VARIANTS_9A = ["BE-chip", "BE-host", "R-chip", "R-host", "unordered"]
+
+
+def run_fig09a():
+    series = {name: Series(name) for name in VARIANTS_9A}
+    p95 = {name: Series(name) for name in VARIANTS_9A}
+    for n in PROCESS_COUNTS:
+        for name in VARIANTS_9A:
+            if name == "unordered":
+                probe = measure_unordered(n)
+            else:
+                service, incarnation = name.split("-")
+                probe = measure_onepipe(
+                    n,
+                    mode="chip" if incarnation == "chip" else "host_delegate",
+                    reliable=(service == "R"),
+                )
+            series[name].add(n, probe.mean_us())
+            p95[name].add(n, probe.percentile_us(95))
+    return series, p95
+
+
+def test_fig09a_latency_by_variant(benchmark):
+    series, p95 = benchmark.pedantic(run_fig09a, rounds=1, iterations=1)
+    print_table(
+        "Fig 9a: delivery latency, idle system (mean us)",
+        "processes",
+        [series[name] for name in VARIANTS_9A],
+        fmt="{:>12.2f}",
+    )
+    print_table(
+        "Fig 9a: delivery latency, idle system (p95 us)",
+        "processes",
+        [p95[name] for name in VARIANTS_9A],
+        fmt="{:>12.2f}",
+    )
+    save_results("fig09a", {
+        "mean_us": {k: v.as_dict() for k, v in series.items()},
+        "p95_us": {k: v.as_dict() for k, v in p95.items()},
+    })
+    # Shape claims:
+    for n_idx in range(len(PROCESS_COUNTS)):
+        # ordering costs something: every variant above unordered.
+        unordered = series["unordered"].ys()[n_idx]
+        for name in ("BE-chip", "BE-host", "R-chip", "R-host"):
+            assert series[name].ys()[n_idx] > unordered
+        # host delegation adds per-hop forwarding delay over the chip.
+        assert series["BE-host"].ys()[n_idx] > series["BE-chip"].ys()[n_idx]
+    # chip-mode BE overhead is nearly constant across scales (paper:
+    # "almost constant with different number of network layers").
+    be_chip = series["BE-chip"].ys()
+    assert max(be_chip) - min(be_chip) < 4.0
+
+
+LOSS_RATES = [1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1]
+
+
+def run_fig09b():
+    be = Series("BE-host")
+    reliable = Series("R-host")
+    for loss in LOSS_RATES:
+        probe = measure_onepipe(32, "host_delegate", False, loss=loss)
+        be.add(loss, probe.mean_us())
+        probe = measure_onepipe(32, "host_delegate", True, loss=loss)
+        reliable.add(loss, probe.mean_us())
+    return be, reliable
+
+
+def test_fig09b_latency_under_loss(benchmark):
+    be, reliable = benchmark.pedantic(run_fig09b, rounds=1, iterations=1)
+    print_table(
+        "Fig 9b: mean latency vs receiver loss rate (us)",
+        "loss rate",
+        [be, reliable],
+        fmt="{:>12.1f}",
+    )
+    save_results("fig09b", {
+        "BE": be.as_dict(), "R": reliable.as_dict(),
+    })
+    # Shape: flat until ~1e-5, then growing; R more sensitive than BE.
+    assert be.ys()[0] is not None
+    low = [y for y in be.ys()[:4] if y is not None]
+    assert max(low) - min(low) < 8.0  # flat region
+    assert reliable.ys()[-1] > reliable.ys()[0]  # grows with loss
+    assert reliable.ys()[-1] > be.ys()[0]
+
+
+def test_out_of_order_fraction(benchmark):
+    """§7.2: '57% received messages are out-of-order in our experiment
+    where 8 hosts send to one receiver' — the barrier mechanism exists
+    because dropping out-of-order arrivals would be catastrophic."""
+
+    def run():
+        sim = Simulator(seed=77)
+        cluster = OnePipeCluster(sim, n_processes=32)
+        receiver = cluster.endpoint(0)
+        receiver.on_recv(lambda m: None)
+        # 8 senders spread across the fabric (different hop counts).
+        senders = [1, 5, 9, 13, 17, 21, 25, 29]
+        for k in range(400):
+            sender = senders[k % 8]
+            sim.schedule(
+                20_000 + (k // 8) * 2_000 + (k % 8) * 23,
+                cluster.endpoint(sender).unreliable_send,
+                [(0, k)],
+            )
+        sim.run(until=3_000_000)
+        stats = receiver.receiver
+        return stats.out_of_order_arrivals / max(1, stats.arrivals)
+
+    fraction = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n### out-of-order arrivals with 8->1 incast: "
+          f"{fraction:.0%} (paper: 57%)")
+    save_results("ooo_fraction", {"fraction": fraction})
+    assert fraction > 0.05  # reordering is substantial

@@ -1,0 +1,76 @@
+"""Fig. 11: reorder overhead on a host.
+
+The paper varies delivery latency (by buffering longer at the receiver)
+and reports that throughput degrades only slightly while the send and
+receive buffer memory grows linearly with latency — a few megabytes at
+100 Gbps.
+
+We inject an artificial barrier lag at one receiving host agent and
+measure delivered throughput and the maximum reorder-buffer occupancy.
+"""
+
+import pytest
+
+from repro.bench import Series, print_table, save_results
+from repro.onepipe import OnePipeCluster, OnePipeConfig
+from repro.sim import Simulator
+
+EXTRA_DELAYS_US = [0, 1, 5, 25, 125]
+WINDOW_NS = 1_500_000
+SENDERS = 8
+SEND_INTERVAL_NS = 1_000  # per sender: 1 M msg/s aggregate
+MSG_BYTES = 1024
+
+
+def run_point(extra_us: int):
+    sim = Simulator(seed=600)
+    config = OnePipeConfig(cpu_ns_per_msg=100)
+    cluster = OnePipeCluster(sim, n_processes=SENDERS + 1, config=config)
+    receiver = cluster.endpoint(SENDERS)
+    receiver.agent.artificial_barrier_lag_ns = extra_us * 1000
+    delivered = [0]
+    receiver.on_recv(lambda m: delivered.__setitem__(0, delivered[0] + 1))
+
+    def send(s):
+        cluster.endpoint(s).unreliable_send([(SENDERS, "x", MSG_BYTES)])
+
+    for s in range(SENDERS):
+        sim.every(SEND_INTERVAL_NS * SENDERS, send, s,
+                  phase=s * SEND_INTERVAL_NS)
+    sim.run(until=WINDOW_NS)
+    tput = delivered[0] * 1e9 / WINDOW_NS / 1e6  # M msg/s
+    buffer_mb = receiver.receiver.max_buffer_bytes / 1e6
+    return tput, buffer_mb
+
+
+def run_fig11():
+    tput = Series("throughput (M msg/s)")
+    memory = Series("max buffer (MB)")
+    for extra in EXTRA_DELAYS_US:
+        t, mem = run_point(extra)
+        tput.add(extra, t)
+        memory.add(extra, mem)
+    return tput, memory
+
+
+def test_fig11_reorder_overhead(benchmark):
+    tput, memory = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    print_table(
+        "Fig 11: reorder overhead on a host",
+        "extra delay us",
+        [tput, memory],
+        fmt="{:>12.3f}",
+    )
+    save_results("fig11", {
+        "throughput": tput.as_dict(), "memory_mb": memory.as_dict(),
+    })
+    # Shape claims:
+    # 1) throughput degrades only slightly with delivery latency.
+    assert min(tput.ys()) > 0.7 * max(tput.ys())
+    # 2) buffer memory grows monotonically and roughly linearly.
+    mems = memory.ys()
+    assert mems[-1] > mems[0]
+    assert mems == sorted(mems)
+    # A 125 us buffer at ~1 M msg/s x 1 KB stays in the few-MB regime
+    # the paper reports.
+    assert mems[-1] < 10.0

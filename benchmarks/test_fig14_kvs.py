@@ -1,0 +1,214 @@
+"""Fig. 14: performance of the transactional key-value store (§7.3.1).
+
+- Fig. 14a: throughput per process vs process count, uniform and YCSB
+  key distributions, for 1Pipe / FaRM / NonTX (50% read-only TXNs,
+  2 ops/TXN, ETC value sizes).
+- Fig. 14b: average TXN latency vs write-op percentage (RO/WO/WR split)
+  for 1Pipe and FaRM.
+- Fig. 14c: total KV op/s vs ops per TXN (95% read-only).
+
+Scaled from the paper's 512 processes to 4..32 (documented in
+EXPERIMENTS.md); per-message CPU cost 1 µs.
+"""
+
+import pytest
+
+from repro.apps.kvstore import FarmKVS, NonTxKVS, OnePipeKVS
+from repro.apps.workloads import EtcValueSizes, TxnMix, UniformKeys, YcsbZipfKeys
+from repro.bench import Series, print_table, save_results
+from repro.net import build_testbed
+from repro.onepipe import OnePipeCluster, OnePipeConfig
+from repro.sim import Simulator
+
+CPU_NS = 1_000
+WINDOW_NS = 1_200_000
+SLOTS_PER_PROC = 2
+NS_14A = [4, 8, 16, 32]
+
+
+def make_mix(sim, dist: str, n_ops=2, write_fraction=0.5, ro_share=0.5):
+    rng = sim.rng("workload")
+    keys = (
+        UniformKeys(rng, 200_000)
+        if dist == "Unif"
+        else YcsbZipfKeys(rng, 200_000)
+    )
+    values = EtcValueSizes(rng)
+    writer_mix = TxnMix(rng, keys, values, n_ops=n_ops,
+                        write_fraction=write_fraction)
+    ro_mix = TxnMix(rng, keys, values, n_ops=n_ops, write_fraction=0.0)
+
+    def next_txn():
+        return ro_mix.next_txn() if rng.random() < ro_share else writer_mix.next_txn()
+
+    return next_txn
+
+
+def build_system(system: str, n: int, seed: int):
+    sim = Simulator(seed=seed)
+    if system == "1Pipe":
+        cluster = OnePipeCluster(
+            sim, n_processes=n, config=OnePipeConfig(cpu_ns_per_msg=CPU_NS)
+        )
+        kvs = OnePipeKVS(cluster, cpu_ns_per_msg=CPU_NS)
+    elif system == "FaRM":
+        topo = build_testbed(sim)
+        kvs = FarmKVS(sim, topo, n, cpu_ns_per_msg=CPU_NS)
+    elif system == "NonTX":
+        topo = build_testbed(sim)
+        kvs = NonTxKVS(sim, topo, n, cpu_ns_per_msg=CPU_NS)
+    else:
+        raise ValueError(system)
+    return sim, kvs
+
+
+def drive(sim, kvs, n, next_txn, window_ns, latency_by_kind=None):
+    from repro.apps.kvstore import classify
+
+    committed = [0]
+    ops_done = [0]
+    until = 200_000 + window_ns
+
+    def slot(initiator):
+        def issue(_f=None):
+            if sim.now >= until:
+                return
+            ops = next_txn()
+            kind = classify(ops)
+            done = kvs.run_txn(initiator, ops)
+
+            def on_done(f):
+                result = f.value
+                if result.committed and sim.now >= 200_000:
+                    committed[0] += 1
+                    ops_done[0] += len(ops)
+                    if latency_by_kind is not None:
+                        latency_by_kind.setdefault(kind, []).append(
+                            result.latency_ns
+                        )
+                issue()
+
+            done.add_callback(on_done)
+
+        issue()
+
+    for initiator in range(n):
+        for _ in range(SLOTS_PER_PROC):
+            sim.schedule(200_000, slot, initiator)
+    sim.run(until=until + 1_000_000)
+    return committed[0], ops_done[0]
+
+
+SYSTEMS = ["1Pipe", "FaRM", "NonTX"]
+
+
+def run_fig14a():
+    series = {}
+    for dist in ("Unif", "YCSB"):
+        for system in SYSTEMS:
+            label = f"{system}/{dist}"
+            series[label] = Series(label)
+            for n in NS_14A:
+                sim, kvs = build_system(system, n, seed=900 + n)
+                next_txn = make_mix(sim, dist)
+                committed, _ops = drive(sim, kvs, n, next_txn, WINDOW_NS)
+                per_proc = committed / n * 1e9 / WINDOW_NS / 1e3  # K txn/s
+                series[label].add(n, per_proc)
+    return series
+
+
+def test_fig14a_kvs_scalability(benchmark):
+    series = benchmark.pedantic(run_fig14a, rounds=1, iterations=1)
+    print_table(
+        "Fig 14a: KVS throughput per process (K txn/s)",
+        "processes",
+        list(series.values()),
+        fmt="{:>12.1f}",
+    )
+    save_results("fig14a", {k: v.as_dict() for k, v in series.items()})
+    # Shape claims (paper §7.3.1):
+    onepipe_unif = series["1Pipe/Unif"].ys()
+    farm_ycsb = series["FaRM/YCSB"].ys()
+    onepipe_ycsb = series["1Pipe/YCSB"].ys()
+    nontx_unif = series["NonTX/Unif"].ys()
+    # 1) 1Pipe scales: per-process throughput roughly flat.
+    assert min(onepipe_unif) > 0.5 * max(onepipe_unif)
+    # 2) 1Pipe reaches a large fraction of the non-transactional bound
+    #    (paper: 90%).
+    assert onepipe_unif[-1] > 0.5 * nontx_unif[-1]
+    # 3) FaRM under YCSB contention falls behind 1Pipe at scale
+    #    (paper: 2..20x).
+    assert onepipe_ycsb[-1] > 1.5 * farm_ycsb[-1]
+
+
+WRITE_PERCENTS = [0.1, 1, 5, 10, 50]
+
+
+def run_fig14b():
+    n = 16
+    labels = ["1Pipe-RO", "1Pipe-WO", "1Pipe-WR", "FaRM-RO", "FaRM-WO", "FaRM-WR"]
+    series = {label: Series(label) for label in labels}
+    for pct in WRITE_PERCENTS:
+        for system in ("1Pipe", "FaRM"):
+            sim, kvs = build_system(system, n, seed=910)
+            latencies = {}
+            next_txn = make_mix(
+                sim, "YCSB", write_fraction=pct / 100, ro_share=0.0
+            )
+            drive(sim, kvs, n, next_txn, WINDOW_NS,
+                  latency_by_kind=latencies)
+            for kind in ("ro", "wo", "wr"):
+                label = f"{system}-{kind.upper()}"
+                values = latencies.get(kind)
+                mean = (sum(values) / len(values) / 1000) if values else None
+                series[label].add(pct, mean)
+    return series
+
+
+def test_fig14b_latency_vs_write_fraction(benchmark):
+    series = benchmark.pedantic(run_fig14b, rounds=1, iterations=1)
+    print_table(
+        "Fig 14b: TXN latency vs write percentage (us, YCSB)",
+        "write %",
+        list(series.values()),
+        fmt="{:>12.1f}",
+    )
+    save_results("fig14b", {k: v.as_dict() for k, v in series.items()})
+    # Shape claims: 1Pipe latency stays nearly constant across write
+    # fractions; FaRM write latency grows with contention.
+    op_wr = [y for y in series["1Pipe-WR"].ys() if y is not None]
+    if len(op_wr) >= 2:
+        assert max(op_wr) < 3 * min(op_wr)
+    farm_wr = [y for y in series["FaRM-WR"].ys() if y is not None]
+    if farm_wr and op_wr:
+        # At the highest write fraction FaRM pays more than 1Pipe.
+        assert farm_wr[-1] > op_wr[-1] * 0.8
+
+
+OPS_PER_TXN = [2, 4, 8, 16, 32]
+
+
+def run_fig14c():
+    n = 16
+    series = {system: Series(system) for system in SYSTEMS}
+    for n_ops in OPS_PER_TXN:
+        for system in SYSTEMS:
+            sim, kvs = build_system(system, n, seed=920)
+            next_txn = make_mix(sim, "YCSB", n_ops=n_ops, ro_share=0.95)
+            _committed, ops = drive(sim, kvs, n, next_txn, WINDOW_NS)
+            series[system].add(n_ops, ops * 1e9 / WINDOW_NS / 1e6)  # M op/s
+    return series
+
+
+def test_fig14c_txn_size(benchmark):
+    series = benchmark.pedantic(run_fig14c, rounds=1, iterations=1)
+    print_table(
+        "Fig 14c: total KV throughput vs TXN size (M op/s, 95% RO)",
+        "ops/TXN",
+        list(series.values()),
+        fmt="{:>12.3f}",
+    )
+    save_results("fig14c", {k: v.as_dict() for k, v in series.items()})
+    # Shape: 1Pipe op throughput does not collapse with TXN size.
+    onepipe = series["1Pipe"].ys()
+    assert onepipe[-1] > 0.4 * max(onepipe)

@@ -1,0 +1,135 @@
+"""Fig. 16: per-client throughput of a replicated remote hash table
+(§7.3.3).
+
+2 shard servers × 1..4 replicas, 8 pipelined clients, uniform keys —
+few shards and per-op server costs make the *servers* the bottleneck,
+as in the paper's saturated testbed.  Inserts: the RDMA baseline pays
+read + write + fence + CAS (serialized at the target NIC) plus
+leader-follower replication through the leader's CPU; 1Pipe sends one
+ordered scattering per insert.  Lookups: the baseline must read at the
+leader; 1Pipe reads at any replica, so lookup throughput scales with
+the replica count.
+"""
+
+import pytest
+
+from repro.apps.hashtable import OnePipeHashTable, RdmaHashTable
+from repro.bench import Series, print_table, save_results
+from repro.net import build_testbed
+from repro.onepipe import OnePipeCluster, OnePipeConfig
+from repro.sim import Simulator
+
+N_SERVERS = 2          # few shards so servers are the bottleneck
+N_CLIENTS = 8
+REPLICAS = [1, 2, 3, 4]
+WINDOW_NS = 1_000_000
+PIPELINE_DEPTH = 8
+SERVER_CPU_NS = 1_500  # per ordered message at a 1Pipe replica
+NIC_OP_NS = 1_500      # per one-sided op at the RDMA NIC
+
+
+def run_system(system: str, n_replicas: int, op: str) -> float:
+    """Per-client op/s (K) with a pipeline of PIPELINE_DEPTH per client."""
+    sim = Simulator(seed=1100 + n_replicas)
+    if system == "1Pipe":
+        cluster = OnePipeCluster(
+            sim,
+            n_processes=N_SERVERS * n_replicas + N_CLIENTS,
+            config=OnePipeConfig(cpu_ns_per_msg=SERVER_CPU_NS),
+        )
+        table = OnePipeHashTable(cluster, n_servers=N_SERVERS,
+                                 n_replicas=n_replicas)
+        clients = table.client_procs
+        issue_insert = lambda c, k: table.insert(c, k, "v")
+        issue_lookup = lambda c, k: table.lookup(c, k)
+    else:
+        topo = build_testbed(sim)
+        table = RdmaHashTable(sim, topo, n_servers=N_SERVERS,
+                              n_clients=N_CLIENTS, n_replicas=n_replicas,
+                              replication_cpu_ns=SERVER_CPU_NS)
+        for agent in table.agents.values():
+            agent.op_delay_ns = NIC_OP_NS
+        clients = list(range(N_CLIENTS))
+        issue_insert = lambda c, k: table.insert(c, k, "v")
+        issue_lookup = lambda c, k: table.lookup(c, k)
+
+    rng = sim.rng("keys")
+    # Preload some keys for lookups.
+    preload_until = 300_000
+    if op == "lookup":
+        for k in range(64):
+            sim.schedule(1_000 + k * 2_000, issue_insert, clients[0] if system == "1Pipe" else 0, k)
+
+    completed = [0]
+    until = preload_until + WINDOW_NS
+    key_counter = [1000]
+
+    def slot(client):
+        def issue(_f=None):
+            if sim.now >= until:
+                return
+            key_counter[0] += 1
+            if op == "insert":
+                future = issue_insert(client, key_counter[0])
+            else:
+                future = issue_lookup(client, rng.randrange(64))
+
+            def done(f):
+                if sim.now >= preload_until:
+                    completed[0] += 1
+                issue()
+
+            future.add_callback(done)
+
+        issue()
+
+    for client in clients:
+        for _ in range(PIPELINE_DEPTH):
+            sim.schedule(preload_until, slot, client)
+    sim.run(until=until + 1_000_000)
+    return completed[0] / len(clients) * 1e9 / WINDOW_NS / 1e3  # K op/s
+
+
+def run_fig16():
+    labels = ["1Pipe/insert", "base/insert", "1Pipe/lookup", "base/lookup"]
+    series = {label: Series(label) for label in labels}
+    for n_replicas in REPLICAS:
+        series["1Pipe/insert"].add(
+            n_replicas, run_system("1Pipe", n_replicas, "insert")
+        )
+        series["base/insert"].add(
+            n_replicas, run_system("base", n_replicas, "insert")
+        )
+        series["1Pipe/lookup"].add(
+            n_replicas, run_system("1Pipe", n_replicas, "lookup")
+        )
+        series["base/lookup"].add(
+            n_replicas, run_system("base", n_replicas, "lookup")
+        )
+    return series
+
+
+def test_fig16_replicated_hashtable(benchmark):
+    series = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+    print_table(
+        "Fig 16: per-client hash table throughput (K op/s)",
+        "replicas",
+        list(series.values()),
+        fmt="{:>12.1f}",
+    )
+    save_results("fig16", {k: v.as_dict() for k, v in series.items()})
+    onepipe_insert = dict(zip(REPLICAS, series["1Pipe/insert"].ys()))
+    base_insert = dict(zip(REPLICAS, series["base/insert"].ys()))
+    onepipe_lookup = dict(zip(REPLICAS, series["1Pipe/lookup"].ys()))
+    base_lookup = dict(zip(REPLICAS, series["base/lookup"].ys()))
+    # Shape claims (paper §7.3.3):
+    # 1) unreplicated insert: 1Pipe ahead (paper: 1.9x) — one ordered
+    #    message instead of 3 serialized one-sided ops.
+    assert onepipe_insert[1] > 1.2 * base_insert[1]
+    # 2) replicated insert: 1Pipe stays ahead (paper: 3.4x at 3
+    #    replicas — leader-follower pays leader CPU + extra RTT).
+    assert onepipe_insert[3] > 1.3 * base_insert[3]
+    # 3) 1Pipe lookup throughput grows with replicas; the baseline's is
+    #    flat (only the leader serves reads).
+    assert onepipe_lookup[4] > 1.3 * onepipe_lookup[1]
+    assert base_lookup[4] < 1.3 * base_lookup[1]

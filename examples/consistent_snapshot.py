@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Consistent distributed snapshots as a 1Pipe one-liner (§2.2.4).
+
+Six processes continuously transfer value among each other.  Taking a
+consistent global snapshot normally needs Chandy-Lamport channel
+recording; with 1Pipe the initiator just broadcasts a marker — every
+process records its state when the marker is delivered, and because
+the marker occupies one position in the network-wide total order, the
+recorded states form a consistent cut.
+
+The invariant checked: the sum of all balances in a snapshot always
+equals the initial total, no matter how many transfers are in flight.
+
+Run:  python examples/consistent_snapshot.py
+"""
+
+from repro.apps.snapshot import TokenConservationDemo
+from repro.onepipe import OnePipeCluster
+from repro.sim import Simulator
+
+N = 6
+INITIAL = 100
+
+
+def main() -> None:
+    sim = Simulator(seed=2024)
+    cluster = OnePipeCluster(sim, n_processes=N)
+    demo = TokenConservationDemo(cluster, list(range(N)), INITIAL)
+
+    rng = sim.rng("transfers")
+    for k in range(120):
+        src = rng.randrange(N)
+        dst = (src + 1 + rng.randrange(N - 1)) % N
+        sim.schedule(15_000 + k * 4_000, demo.transfer, src, dst,
+                     rng.randint(1, 25))
+
+    snapshots = []
+    for t in (50_000, 200_000, 400_000):
+        sim.schedule(
+            t,
+            lambda t=t: demo.coordinator.take_snapshot(0).add_callback(
+                lambda f: snapshots.append((t, f.value))
+            ),
+        )
+
+    sim.run(until=2_000_000)
+
+    print(f"{N} processes, initial balance {INITIAL} each "
+          f"(invariant total {demo.total})\n")
+    for initiated_at, states in snapshots:
+        balances = " ".join(f"{states[p]:5d}" for p in range(N))
+        total = sum(states.values())
+        flag = "consistent" if total == demo.total else "INCONSISTENT"
+        print(f"snapshot @ {initiated_at / 1000:4.0f} us: [{balances}]  "
+              f"sum={total}  {flag}")
+    assert all(sum(s.values()) == demo.total for _, s in snapshots)
+    print("\nevery snapshot is a consistent cut — no channel recording, "
+          "no stop-the-world")
+    print(f"final balances: {list(demo.balances.values())} "
+          f"(sum {sum(demo.balances.values())})")
+
+
+if __name__ == "__main__":
+    main()

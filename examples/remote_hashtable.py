@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Remote hash table: fence elimination and replica reads (§7.3.3).
+
+A distributed hash table with linked-list buckets.  The RDMA baseline
+must fence between writing an entry and swinging the bucket pointer
+(WAW hazard), and with leader-follower replication only the leader may
+serve lookups.  Under 1Pipe both writes pipeline (ordering makes the
+hazard impossible) and every replica serves lookups.
+
+Run:  python examples/remote_hashtable.py
+"""
+
+from repro.apps.hashtable import OnePipeHashTable, RdmaHashTable
+from repro.net import build_testbed
+from repro.onepipe import OnePipeCluster
+from repro.sim import Simulator
+
+N_SERVERS = 4
+N_KEYS = 60
+
+
+def run_baseline() -> tuple:
+    sim = Simulator(seed=31)
+    topo = build_testbed(sim)
+    table = RdmaHashTable(sim, topo, n_servers=N_SERVERS, n_clients=2)
+    inserted = [0]
+    finish = [0]
+
+    def insert_loop(k=0):
+        if k >= N_KEYS:
+            return
+        table.insert(0, k, f"value-{k}").add_callback(
+            lambda f: (inserted.__setitem__(0, inserted[0] + 1),
+                       finish.__setitem__(0, sim.now),
+                       insert_loop(k + 1))
+        )
+
+    sim.schedule(1_000, insert_loop)
+    sim.run(until=10_000_000)
+    ops = sum(agent.ops_served for agent in table.agents.values())
+    return finish[0], inserted[0], ops
+
+
+def run_onepipe(window: int = 4) -> tuple:
+    sim = Simulator(seed=31)
+    cluster = OnePipeCluster(sim, n_processes=N_SERVERS + 2)
+    table = OnePipeHashTable(cluster, n_servers=N_SERVERS)
+    client = table.client_procs[0]
+    inserted = [0]
+    finish = [0]
+    state = {"next": 0}
+
+    def issue():
+        # Fence-free: keep `window` inserts in flight; ordering is
+        # guaranteed by timestamps, so completions never have to gate
+        # issuing the dependent second write of each insert.
+        k = state["next"]
+        if k >= N_KEYS:
+            return
+        state["next"] = k + 1
+        table.insert(client, k, f"value-{k}").add_callback(
+            lambda f: (inserted.__setitem__(0, inserted[0] + 1),
+                       finish.__setitem__(0, sim.now),
+                       issue())
+        )
+
+    def start():
+        for _ in range(window):
+            issue()
+
+    sim.schedule(1_000, start)
+    sim.run(until=10_000_000)
+    return finish[0], inserted[0], N_KEYS
+
+
+def replicated_reads() -> None:
+    print("\n== replicated table: lookups served by every replica ==")
+    sim = Simulator(seed=32)
+    cluster = OnePipeCluster(sim, n_processes=2 * 3 + 2)
+    table = OnePipeHashTable(cluster, n_servers=2, n_replicas=3)
+    client = table.client_procs[0]
+    table.insert(client, 7, "replicated-value")
+    sim.run(until=300_000)
+    results = []
+    for i in range(30):
+        sim.schedule(
+            i * 5_000,
+            lambda: table.lookup(table.client_procs[1], 7).add_callback(
+                lambda f: results.append(f.value)
+            ),
+        )
+    sim.run(until=2_000_000)
+    served = [
+        cluster.endpoint(p).receiver.delivered_count
+        for p in table.replica_procs_of(7 % 2)
+    ]
+    print(f"  30 lookups, all correct: {all(v == 'replicated-value' for v in results)}")
+    print(f"  deliveries per replica of shard {7 % 2}: {served}")
+    print("  (a leader-follower design would fund all of these from one "
+          "leader)")
+
+
+def main() -> None:
+    base_time, base_done, base_ops = run_baseline()
+    op_time, op_done, op_msgs = run_onepipe()
+    print("== sequential inserts: RDMA-with-fences vs 1Pipe pipeline ==")
+    print(f"  RDMA baseline: {base_done} inserts in {base_time / 1e6:.2f} ms "
+          f"({base_ops} one-sided ops, ~3 round trips each)")
+    print(f"  1Pipe:         {op_done} inserts in {op_time / 1e6:.2f} ms "
+          f"({op_msgs} ordered messages, pipelined, no fences)")
+    speedup = base_time / max(1, op_time)
+    print(f"  pipeline speedup: {speedup:.1f}x  (paper reports 1.9x)")
+    replicated_reads()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""TPC-C independent transactions on 1Pipe vs 2PL and OCC (§7.3.2).
+
+New-Order and Payment on 4 replicated warehouses (3 replicas each).
+With 1Pipe a transaction is ONE reliable scattering to every replica of
+its warehouse — replicas execute deterministically in timestamp order,
+so there are no locks and no aborts, and all replicas of a shard end up
+bit-identical.  2PL holds the hot warehouse-row lock across the
+replication round trip; OCC aborts when the row version moved.
+
+Run:  python examples/tpcc_demo.py
+"""
+
+from repro.apps.tpcc import TpccLock, TpccNonTx, TpccOcc, TpccOnePipe
+from repro.apps.workloads import TpccMix
+from repro.net import build_testbed
+from repro.onepipe import OnePipeCluster
+from repro.sim import Simulator
+
+N_CLIENTS = 8
+DURATION_NS = 3_000_000
+
+
+def drive(sim, app, clients, mix, until_ns):
+    committed = [0]
+
+    def loop(client):
+        def next_txn(_f=None):
+            if sim.now >= until_ns:
+                return
+            app.run_txn(client, mix.next_txn()).add_callback(
+                lambda f: (committed.__setitem__(0, committed[0] + 1),
+                           next_txn())
+            )
+
+        next_txn()
+
+    for client in clients:
+        sim.schedule(10_000, loop, client)
+    sim.run(until=until_ns + 3_000_000)
+    return committed[0]
+
+
+def main() -> None:
+    rows = []
+
+    sim = Simulator(seed=21)
+    cluster = OnePipeCluster(sim, n_processes=12 + N_CLIENTS)
+    app = TpccOnePipe(cluster)
+    mix = TpccMix(sim.rng("mix"))
+    drive(sim, app, app.client_procs, mix, DURATION_NS)
+    rows.append(("1Pipe (Eris-style)", app.txns_committed, 0))
+    for warehouse in range(4):
+        fingerprints = app.shard_fingerprints(warehouse)
+        assert len(set(fingerprints)) == 1, "replicas diverged!"
+
+    for name, cls in (("2PL", TpccLock), ("OCC", TpccOcc),
+                      ("NonTX", TpccNonTx)):
+        sim = Simulator(seed=21)
+        topo = build_testbed(sim)
+        baseline = cls(sim, topo, n_clients=N_CLIENTS)
+        mix = TpccMix(sim.rng("mix"))
+        drive(sim, baseline, baseline.client_ids, mix, DURATION_NS)
+        rows.append((name, baseline.txns_committed,
+                     getattr(baseline, "txns_aborted", 0)))
+
+    print(f"TPC-C New-Order/Payment, {N_CLIENTS} clients, 4 warehouses, "
+          f"3 replicas, {DURATION_NS / 1e6:.0f} ms simulated\n")
+    print(f"{'system':>20}  {'committed':>9}  {'aborts':>7}  {'txn/s':>10}")
+    for name, committed, aborts in rows:
+        tput = committed * 1e9 / DURATION_NS
+        print(f"{name:>20}  {committed:>9}  {aborts:>7}  {tput:>10,.0f}")
+    print("\n1Pipe replicas stayed bit-identical with zero locks and zero "
+          "aborts (paper Fig. 15a).")
+
+
+if __name__ == "__main__":
+    main()

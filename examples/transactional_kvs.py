@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Lock-free transactional key-value store on 1Pipe (paper §7.3.1).
+
+Eight processes each act as a shard server and a transaction initiator.
+Read-only transactions use best-effort 1Pipe (fast path); write
+transactions use reliable 1Pipe.  Because every server applies
+operations in timestamp order, multi-key transactions are serializable
+with no locks and no aborts — compare with the FaRM-style OCC baseline
+which pays extra round trips and aborts under contention.
+
+Run:  python examples/transactional_kvs.py
+"""
+
+from repro.apps.kvstore import FarmKVS, OnePipeKVS
+from repro.apps.workloads import EtcValueSizes, TxnMix, YcsbZipfKeys
+from repro.net import build_testbed
+from repro.onepipe import OnePipeCluster
+from repro.sim import Simulator
+
+N_PROCS = 8
+DURATION_NS = 3_000_000  # 3 simulated ms
+
+
+def drive(sim, kvs, initiators, mix, until_ns):
+    """Closed-loop clients: each issues the next TXN on completion."""
+    stats = {"committed": 0, "aborts": 0, "latency_sum": 0}
+
+    def loop(initiator):
+        def next_txn(_future=None):
+            if sim.now >= until_ns:
+                return
+            done = kvs.run_txn(initiator, mix.next_txn())
+
+            def on_done(f):
+                result = f.value
+                stats["committed"] += int(result.committed)
+                stats["aborts"] += result.aborts
+                stats["latency_sum"] += result.latency_ns
+                next_txn()
+
+            done.add_callback(on_done)
+
+        next_txn()
+
+    for initiator in initiators:
+        sim.schedule(10_000, loop, initiator)
+    sim.run(until=until_ns + 2_000_000)
+    return stats
+
+
+def main() -> None:
+    print("== 1Pipe transactional KVS (YCSB keys, ETC values) ==")
+    sim = Simulator(seed=7)
+    cluster = OnePipeCluster(sim, n_processes=N_PROCS)
+    kvs = OnePipeKVS(cluster)
+    rng = sim.rng("workload")
+    mix = TxnMix(rng, YcsbZipfKeys(rng, 100_000), EtcValueSizes(rng),
+                 n_ops=2, write_fraction=0.5)
+    stats = drive(sim, kvs, range(N_PROCS), mix, DURATION_NS)
+    tput = stats["committed"] * 1e9 / DURATION_NS / 1e3
+    print(f"  committed: {stats['committed']} txns "
+          f"({tput:.0f} K txn/s total), aborts: {stats['aborts']}")
+    print(f"  mean latency: "
+          f"{stats['latency_sum'] / max(1, stats['committed']) / 1000:.1f} us")
+
+    print("\n== FaRM-style OCC baseline, same workload ==")
+    sim2 = Simulator(seed=7)
+    topo2 = build_testbed(sim2)
+    farm = FarmKVS(sim2, topo2, N_PROCS)
+    rng2 = sim2.rng("workload")
+    mix2 = TxnMix(rng2, YcsbZipfKeys(rng2, 100_000), EtcValueSizes(rng2),
+                  n_ops=2, write_fraction=0.5)
+    stats2 = drive(sim2, farm, range(N_PROCS), mix2, DURATION_NS)
+    tput2 = stats2["committed"] * 1e9 / DURATION_NS / 1e3
+    print(f"  committed: {stats2['committed']} txns "
+          f"({tput2:.0f} K txn/s total), aborts: {stats2['aborts']}")
+    print(f"  mean latency: "
+          f"{stats2['latency_sum'] / max(1, stats2['committed']) / 1000:.1f} us")
+
+    print("\n1Pipe serves transactions without locks: contention on hot "
+          "YCSB keys costs it nothing,\nwhile OCC pays aborts and extra "
+          "round trips (paper Fig. 14).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The environment has setuptools 65 without the ``wheel`` package, so PEP 517
+editable installs fail with "invalid command 'bdist_wheel'".  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy editable
+path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

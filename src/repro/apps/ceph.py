@@ -1,0 +1,207 @@
+"""Ceph-style replicated object storage (paper §7.3.4).
+
+The baseline models Ceph OSD primary-backup replication: a 4 KB random
+write travels client → primary; the primary writes its disk, then
+forwards to the first backup, which writes and forwards the ack; then
+the second backup — "the backups are also written sequentially", so the
+client waits for 3 disk writes and 6 network messages (3 RTTs) in
+sequence.
+
+With 1Pipe's 1-RTT replication (§2.2.2) the client scatters the write to
+all three OSDs directly; each writes its disk in parallel and acks with
+its log checksum; the client completes after one round trip plus a
+single disk write.  The paper measures 160±54 µs → 58±28 µs (64%
+reduction) on Intel DC S3700 SSDs; the SSD model below is calibrated so
+the *baseline* composition reproduces that band.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List
+
+from repro.net.rpc import Directory, Messenger, RpcEndpoint
+from repro.net.topology import Topology
+from repro.onepipe.cluster import OnePipeCluster
+from repro.sim import Future, Process, Simulator, all_of
+
+CEPH_RPC_BASE = 11_000_000
+CEPH_RESP_BASE = 12_000_000
+
+
+class SsdModel:
+    """Latency model of a datacenter SATA SSD (Intel DC S3700 class).
+
+    4 KB random-write latency: ~45 µs median with a lognormal-ish tail,
+    matching the testbed's measured end-to-end compositions.
+    """
+
+    def __init__(self, sim: Simulator, name: str, median_us: float = 45.0,
+                 sigma: float = 0.35) -> None:
+        self.sim = sim
+        self._rng = sim.rng(f"ssd.{name}")
+        self.median_us = median_us
+        self.sigma = sigma
+        self.writes = 0
+
+    def write(self, _n_bytes: int = 4096) -> Future:
+        """Returns a future resolving when the write is durable."""
+        import math
+
+        self.writes += 1
+        latency_us = self.median_us * math.exp(
+            self._rng.gauss(0.0, self.sigma)
+        )
+        done = Future(self.sim)
+        self.sim.schedule(int(latency_us * 1000), done.try_resolve, True)
+        return done
+
+
+class CephBaseline:
+    """Primary-backup chain replication with sequential backup writes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        n_replicas: int = 3,
+        n_clients: int = 1,
+        cpu_ns_per_msg: int = 500,
+    ) -> None:
+        self.sim = sim
+        self.n_replicas = n_replicas
+        self.directory = Directory()
+        hosts = topology.assign_hosts(n_replicas + n_clients)
+        self.disks = [SsdModel(sim, f"osd{r}") for r in range(n_replicas)]
+        self.osd_rpcs: List[RpcEndpoint] = []
+        for r in range(n_replicas):
+            self.directory.register(CEPH_RPC_BASE + r, hosts[r].node_id)
+        for c in range(n_clients):
+            self.directory.register(
+                CEPH_RPC_BASE + n_replicas + c, hosts[n_replicas + c].node_id
+            )
+        for r in range(n_replicas):
+            rpc = RpcEndpoint(
+                Messenger(hosts[r], CEPH_RPC_BASE + r, cpu_ns_per_msg),
+                self.directory,
+            )
+            # The RPC acknowledges receipt; the sequential disk write and
+            # next-hop forwarding are driven by the chain process below.
+            rpc.serve("chain_write", lambda src, arg, r=r: self._noop(r))
+            self.osd_rpcs.append(rpc)
+        self.client_rpcs = [
+            RpcEndpoint(
+                Messenger(
+                    hosts[n_replicas + c],
+                    CEPH_RPC_BASE + n_replicas + c,
+                    cpu_ns_per_msg,
+                ),
+                self.directory,
+            )
+            for c in range(n_clients)
+        ]
+        self.writes_completed = 0
+
+    def _noop(self, _r: int):
+        return True
+
+    def write(self, client_idx: int, object_id: Any, n_bytes: int = 4096) -> Future:
+        done = Future(self.sim)
+        Process(self.sim, self._write_proc(client_idx, n_bytes, done))
+        return done
+
+    def _write_proc(self, client_idx: int, n_bytes: int, done: Future):
+        rpc = self.client_rpcs[client_idx]
+        # Hop 1: client -> primary (RPC), primary writes its disk.
+        yield rpc.call(CEPH_RPC_BASE + 0, "chain_write", None, size_bytes=n_bytes)
+        yield self.disks[0].write(n_bytes)
+        # Hops 2..n: primary forwards to each backup sequentially; each
+        # backup's disk write completes before the next hop.
+        primary_rpc = self.osd_rpcs[0]
+        for r in range(1, self.n_replicas):
+            yield primary_rpc.call(
+                CEPH_RPC_BASE + r, "chain_write", None, size_bytes=n_bytes
+            )
+            yield self.disks[r].write(n_bytes)
+        self.writes_completed += 1
+        done.try_resolve(True)
+
+
+class CephOnePipe:
+    """1-RTT parallel replication via a best-effort 1Pipe scattering.
+
+    Process layout: endpoints ``[0, n_replicas)`` are OSDs; clients are
+    later endpoints.
+    """
+
+    _write_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        cluster: OnePipeCluster,
+        n_replicas: int = 3,
+        cpu_ns_per_msg: int = 500,
+    ) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.n_replicas = n_replicas
+        self.disks = [SsdModel(self.sim, f"oposd{r}") for r in range(n_replicas)]
+        self._responders: Dict[int, Messenger] = {}
+        self._pending: Dict[int, tuple] = {}
+        self.writes_completed = 0
+        for proc in range(n_replicas):
+            endpoint = cluster.endpoint(proc)
+            endpoint.on_recv(
+                lambda message, r=proc: self._osd_on_message(r, message)
+            )
+            self._responders[proc] = Messenger(
+                endpoint.agent.host, CEPH_RESP_BASE + proc, cpu_ns_per_msg
+            )
+        self.client_procs = list(range(n_replicas, cluster.n_processes))
+        for proc in self.client_procs:
+            endpoint = cluster.endpoint(proc)
+            messenger = Messenger(
+                endpoint.agent.host, CEPH_RESP_BASE + proc, 0
+            )
+            messenger.on("wack", self._client_on_ack)
+            self._responders[proc] = messenger
+
+    def write(self, client_proc: int, object_id: Any, n_bytes: int = 4096) -> Future:
+        done = Future(self.sim)
+        write_id = next(self._write_ids)
+        self._pending[write_id] = (done, self.n_replicas)
+        entries = [
+            (r, ("wr", write_id, client_proc, object_id), n_bytes)
+            for r in range(self.n_replicas)
+        ]
+        self.cluster.endpoint(client_proc).unreliable_send(entries)
+        return done
+
+    def _osd_on_message(self, replica: int, message) -> None:
+        if message.payload[0] != "wr":
+            return
+        _tag, write_id, client_proc, _object_id = message.payload
+        disk_done = self.disks[replica].write()
+        disk_done.add_callback(
+            lambda _f: self._responders[replica].send(
+                CEPH_RESP_BASE + client_proc,
+                self.cluster.directory.host_of(client_proc),
+                "wack",
+                (write_id, replica),
+                size_bytes=32,
+            )
+        )
+
+    def _client_on_ack(self, _src: int, body) -> None:
+        write_id, _replica = body
+        entry = self._pending.get(write_id)
+        if entry is None:
+            return
+        done, remaining = entry
+        remaining -= 1
+        if remaining == 0:
+            del self._pending[write_id]
+            self.writes_completed += 1
+            done.try_resolve(True)
+        else:
+            self._pending[write_id] = (done, remaining)

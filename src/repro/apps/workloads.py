@@ -1,0 +1,165 @@
+"""Workload generators used by the application studies (§7.3).
+
+- Uniform and YCSB-style Zipf key distributions (the paper's
+  "uniform" and "YCSB" workloads; YCSB's hot keys create contention).
+- Facebook ETC value-size distribution [Atikoglu et al. 2012]: a few
+  tens of bytes typically, with a heavy tail — approximated by the
+  generalized-Pareto body the paper's reference reports.
+- The TPC-C transaction mix restricted to the two independent
+  transactions the paper implements (New-Order 45/ Payment 43 of the
+  full mix; normalized here to the 50/50-ish split between the two).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+
+class UniformKeys:
+    """64-bit integer keys drawn uniformly."""
+
+    def __init__(self, rng: random.Random, n_keys: int = 1_000_000) -> None:
+        self.rng = rng
+        self.n_keys = n_keys
+
+    def next_key(self) -> int:
+        return self.rng.randrange(self.n_keys)
+
+
+class YcsbZipfKeys:
+    """Zipf-distributed keys (YCSB's default theta = 0.99).
+
+    Uses the standard YCSB/Gray bounded-Zipf generator so small key
+    ranks are heavily favored ("hot keys", paper §7.3.1).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        n_keys: int = 1_000_000,
+        theta: float = 0.99,
+    ) -> None:
+        if not 0 < theta < 1:
+            raise ValueError(f"theta must be in (0,1): {theta}")
+        self.rng = rng
+        self.n_keys = n_keys
+        self.theta = theta
+        self._zetan = self._zeta(n_keys, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / n_keys) ** (1 - theta)) / (
+            1 - self._zeta2 / self._zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact up to a cutoff, then the integral approximation — keeps
+        # construction O(1)-ish for large key spaces.
+        cutoff = min(n, 10_000)
+        total = sum(1.0 / (i ** theta) for i in range(1, cutoff + 1))
+        if n > cutoff:
+            total += ((n ** (1 - theta)) - (cutoff ** (1 - theta))) / (1 - theta)
+        return total
+
+    def next_key(self) -> int:
+        u = self.rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(
+            self.n_keys * ((self._eta * u - self._eta + 1) ** self._alpha)
+        ) % self.n_keys
+
+
+class EtcValueSizes:
+    """Facebook ETC value sizes: small median, heavy tail.
+
+    Approximates the published distribution with a generalized Pareto
+    (location 0, scale 214.48, shape 0.35) capped at ``max_bytes``,
+    with the discrete spike at very small values the trace shows.
+    """
+
+    def __init__(self, rng: random.Random, max_bytes: int = 8192) -> None:
+        self.rng = rng
+        self.max_bytes = max_bytes
+
+    def next_size(self) -> int:
+        r = self.rng.random()
+        if r < 0.4:  # the measured spike of tiny values (<= 24B)
+            return self.rng.randint(1, 24)
+        # Generalized Pareto tail.
+        u = self.rng.random()
+        scale, shape = 214.48, 0.348238
+        size = int(scale * ((u ** -shape) - 1) / shape) + 24
+        return max(1, min(size, self.max_bytes))
+
+
+class TxnMix:
+    """Composition of a transaction for the KVS study (Fig. 14).
+
+    ``n_ops`` operations per transaction; each op is a read or a write
+    chosen by ``write_fraction``; a transaction with no writes is
+    read-only (served by best-effort 1Pipe in the paper).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        keys,
+        values: EtcValueSizes,
+        n_ops: int = 2,
+        write_fraction: float = 0.5,
+    ) -> None:
+        self.rng = rng
+        self.keys = keys
+        self.values = values
+        self.n_ops = n_ops
+        self.write_fraction = write_fraction
+
+    def next_txn(self) -> List[tuple]:
+        """Returns a list of ('r', key, None) / ('w', key, size) ops."""
+        ops = []
+        seen = set()
+        while len(ops) < self.n_ops:
+            key = self.keys.next_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.rng.random() < self.write_fraction:
+                ops.append(("w", key, self.values.next_size()))
+            else:
+                ops.append(("r", key, None))
+        return ops
+
+
+class TpccMix:
+    """New-Order vs Payment choice (the paper's two independent TXNs).
+
+    In the full TPC-C mix New-Order and Payment are ~45% and ~43%; the
+    paper implements only these two, so we normalize to 51/49.
+    """
+
+    NEW_ORDER = "new_order"
+    PAYMENT = "payment"
+
+    def __init__(self, rng: random.Random, n_warehouses: int = 4) -> None:
+        self.rng = rng
+        self.n_warehouses = n_warehouses
+
+    def next_txn(self):
+        kind = self.NEW_ORDER if self.rng.random() < 0.51 else self.PAYMENT
+        warehouse = self.rng.randrange(self.n_warehouses)
+        if kind == self.NEW_ORDER:
+            n_items = self.rng.randint(5, 15)
+            items = [
+                (self.rng.randrange(100_000), self.rng.randint(1, 10))
+                for _ in range(n_items)
+            ]
+            return (kind, warehouse, items)
+        amount = self.rng.randint(1, 5000)
+        customer = self.rng.randrange(3000)
+        return (kind, warehouse, (customer, amount))

@@ -1,0 +1,29 @@
+"""Total-order broadcast baselines compared against 1Pipe in Fig. 8.
+
+- :mod:`~repro.baselines.sequencer` — logically centralized sequencer,
+  either a programmable switch (NO-Paxos/Eris style) or a host NIC
+  process (FaSST style); all ordered traffic detours through it.
+- :mod:`~repro.baselines.token` — token-ring total order: only the token
+  holder may broadcast (Totem style).
+- :mod:`~repro.baselines.lamport` — Lamport logical timestamps with the
+  classic per-interval timestamp-exchange optimization: a message is
+  deliverable once every peer's clock passed its timestamp.
+
+All three share the :class:`~repro.baselines.common.BroadcastGroup`
+interface, and all deliver a *total order* (verified by tests); they
+differ — as the paper argues — in how their throughput and latency scale
+with the number of processes.
+"""
+
+from repro.baselines.common import BroadcastGroup, BroadcastMember
+from repro.baselines.lamport import LamportBroadcast
+from repro.baselines.sequencer import SequencerBroadcast
+from repro.baselines.token import TokenRingBroadcast
+
+__all__ = [
+    "BroadcastGroup",
+    "BroadcastMember",
+    "LamportBroadcast",
+    "SequencerBroadcast",
+    "TokenRingBroadcast",
+]

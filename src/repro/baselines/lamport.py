@@ -1,0 +1,139 @@
+"""Lamport-timestamp total order broadcast (Fig. 8 baseline).
+
+Classic receiver-side ordering [Lamport 78]: every member stamps its
+broadcasts with a logical clock; a receiver may deliver a buffered
+message with timestamp T once it has heard a clock value above T from
+*every* member (so nothing earlier can still arrive, given FIFO
+channels).  Ties break by sender index.
+
+The paper applies the common optimization of exchanging timestamps per
+*interval* rather than per message: each member broadcasts its current
+clock every ``exchange_interval_ns``.  That trades latency (up to one
+interval per delivery) against the O(N²) bandwidth of per-message
+acknowledgements — the trade-off Fig. 8b shows: with many processes,
+either latency or throughput gives.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List
+
+from repro.baselines.common import BroadcastGroup, BroadcastMember
+from repro.net.topology import Topology
+from repro.sim import Simulator
+
+
+class _LamportMember(BroadcastMember):
+    def __init__(self, group, index, host, cpu):
+        super().__init__(group, index, host, cpu)
+        self.clock = 0
+        self.heard: Dict[int, int] = {}
+        self.heap: List = []
+
+    def tick(self, observed: int = 0) -> int:
+        self.clock = max(self.clock, observed) + 1
+        return self.clock
+
+
+class LamportBroadcast(BroadcastGroup):
+    """Total order broadcast via Lamport clocks + interval exchange."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        n_members: int,
+        cpu_ns_per_msg: int = 200,
+        payload_bytes: int = 64,
+        exchange_interval_ns: int = 20_000,
+    ) -> None:
+        self.exchange_interval_ns = exchange_interval_ns
+        self.clock_messages = 0
+        super().__init__(
+            sim, topology, n_members, cpu_ns_per_msg, payload_bytes
+        )
+
+    def _make_member(self, index, host, cpu):
+        return _LamportMember(self, index, host, cpu)
+
+    def _wire(self) -> None:
+        for member in self.members:
+            member.heard = {m.index: 0 for m in self.members}
+            member.messenger.on(
+                "bcast",
+                lambda src, body, m=member: self._on_broadcast(m, body),
+            )
+            member.messenger.on(
+                "clock",
+                lambda src, body, m=member: self._on_clock(m, body),
+            )
+        self._task = self.sim.every(
+            self.exchange_interval_ns, self._exchange_clocks
+        )
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    # ------------------------------------------------------------------
+    def broadcast(self, sender_index: int, payload: Any) -> None:
+        member = self.members[sender_index]
+        ts = member.tick()
+        member.heard[member.index] = max(member.heard[member.index], ts)
+        self._accept(member, ts, member.index, payload)
+        for target in self.members:
+            if target is member:
+                continue
+            member.messenger.send(
+                target.proc_id,
+                target.host.node_id,
+                "bcast",
+                (ts, member.index, payload),
+                size_bytes=self.payload_bytes,
+            )
+
+    def _exchange_clocks(self) -> None:
+        """Per-interval timestamp exchange (the paper's optimization)."""
+        for member in self.members:
+            ts = member.tick()
+            member.heard[member.index] = max(member.heard[member.index], ts)
+            for target in self.members:
+                if target is member:
+                    continue
+                self.clock_messages += 1
+                member.messenger.send(
+                    target.proc_id,
+                    target.host.node_id,
+                    "clock",
+                    (ts, member.index),
+                    size_bytes=16,
+                )
+            self._flush(member)
+
+    # ------------------------------------------------------------------
+    def _on_broadcast(self, member: _LamportMember, body: Any) -> None:
+        ts, sender_index, payload = body
+        member.tick(observed=ts)
+        self._accept(member, ts, sender_index, payload)
+
+    def _accept(
+        self, member: _LamportMember, ts: int, sender_index: int, payload: Any
+    ) -> None:
+        member.heard[sender_index] = max(member.heard[sender_index], ts)
+        heapq.heappush(member.heap, (ts, sender_index, payload))
+        self._flush(member)
+
+    def _on_clock(self, member: _LamportMember, body: Any) -> None:
+        ts, sender_index = body
+        member.tick(observed=ts)
+        member.heard[sender_index] = max(member.heard[sender_index], ts)
+        self._flush(member)
+
+    def _flush(self, member: _LamportMember) -> None:
+        # Deliverable: ts strictly below what every member has reached
+        # (FIFO channels mean nothing earlier can still arrive).
+        floor = min(member.heard.values())
+        heap = member.heap
+        while heap and heap[0][0] < floor:
+            ts, sender_index, payload = heapq.heappop(heap)
+            member.record_delivery((ts, sender_index), sender_index, payload)

@@ -1,0 +1,130 @@
+"""Centralized-sequencer total order broadcast (Fig. 8 baseline).
+
+Every broadcast detours through one sequencer, which assigns a global
+sequence number and re-emits one copy per group member.  Two variants
+(paper §7.2):
+
+- ``kind="switch"`` — a programmable switching chip as the sequencer
+  (NO-Paxos / Eris): per-message processing is nearly free (stamping at
+  line rate), but every ordered message still crosses the sequencer's
+  links, so its NIC-equivalent bandwidth is the bottleneck.
+- ``kind="host"`` — a host NIC/CPU sequencer (FaSST-style): lower
+  processing rate, saturates earlier.
+
+The testbed substitution: the sequencer runs as a process on a
+dedicated host attached to the fabric (for the switch variant with
+chip-speed per-message cost and a fat 4x uplink, emulating a switch
+that can inject on several ports).  The scalability *shape* — total
+ordered throughput capped by one chokepoint, hence per-process
+throughput ∝ 1/N, and latency soaring once the sequencer saturates —
+is what Fig. 8 demonstrates and what this model reproduces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.baselines.common import _PROC_IDS, BroadcastGroup
+from repro.net.rpc import Messenger
+from repro.net.topology import Topology
+from repro.sim import Simulator
+
+SEQUENCER_KINDS = ("switch", "host")
+
+# Per-message sequencing cost: a Tofino pipeline stamps at line rate
+# (~1ns/packet even at 100G per port); a host sequencer pays a full
+# userspace RPC handling cost.
+SWITCH_SEQ_CPU_NS = 8
+HOST_SEQ_CPU_NS = 200
+
+
+class SequencerBroadcast(BroadcastGroup):
+    """Total order broadcast via a central sequencer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        n_members: int,
+        kind: str = "switch",
+        cpu_ns_per_msg: int = 200,
+        payload_bytes: int = 64,
+        sequencer_cpu_ns: Optional[int] = None,
+    ) -> None:
+        if kind not in SEQUENCER_KINDS:
+            raise ValueError(f"unknown sequencer kind {kind!r}")
+        self.kind = kind
+        # The sequencer lives on the *last* host of the topology so group
+        # members (placed from the front) do not share its NIC.
+        self._seq_host = topology.hosts[-1]
+        self._seq_proc = next(_PROC_IDS)
+        if sequencer_cpu_ns is None:
+            sequencer_cpu_ns = (
+                SWITCH_SEQ_CPU_NS if kind == "switch" else HOST_SEQ_CPU_NS
+            )
+        self._sequencer = Messenger(
+            self._seq_host, self._seq_proc, cpu_ns_per_msg=sequencer_cpu_ns
+        )
+        if kind == "switch":
+            # A switch sequencer injects from the fabric itself; emulate
+            # its aggregate injection capacity with a fat host link.
+            uplink = self._seq_host.uplink
+            uplink.bytes_per_ns *= 4
+        self._next_seq = itertools.count(1)
+        self.sequenced = 0
+        super().__init__(
+            sim, topology, n_members, cpu_ns_per_msg, payload_bytes
+        )
+
+    def _wire(self) -> None:
+        self._sequencer.on("order", self._on_order_request)
+        for member in self.members:
+            state = _MemberState()
+            member.messenger.on(
+                "deliver",
+                lambda src, body, member=member, state=state: self._on_deliver(
+                    member, state, body
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def broadcast(self, sender_index: int, payload: Any) -> None:
+        member = self.members[sender_index]
+        member.messenger.send(
+            self._seq_proc,
+            self._seq_host.node_id,
+            "order",
+            (sender_index, payload),
+            size_bytes=self.payload_bytes,
+        )
+
+    def _on_order_request(self, _src_proc: int, body: Any) -> None:
+        sender_index, payload = body
+        seq = next(self._next_seq)
+        self.sequenced += 1
+        for member in self.members:
+            self._sequencer.send(
+                member.proc_id,
+                member.host.node_id,
+                "deliver",
+                (seq, sender_index, payload),
+                size_bytes=self.payload_bytes,
+            )
+
+    def _on_deliver(self, member, state: "_MemberState", body: Any) -> None:
+        seq, sender_index, payload = body
+        # Hold-back queue: deliver strictly in sequence-number order.
+        state.pending[seq] = (sender_index, payload)
+        while state.next_expected in state.pending:
+            src, item = state.pending.pop(state.next_expected)
+            member.record_delivery(state.next_expected, src, item)
+            state.next_expected += 1
+
+
+class _MemberState:
+    __slots__ = ("next_expected", "pending")
+
+    def __init__(self) -> None:
+        self.next_expected = 1
+        self.pending: Dict[int, Any] = {}

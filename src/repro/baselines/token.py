@@ -1,0 +1,103 @@
+"""Token-ring total order broadcast (Totem-style, Fig. 8 baseline).
+
+A single token circulates among the members; only the holder may
+broadcast.  The token carries the global sequence counter, so ordering
+is trivially total — and throughput is trivially awful: at any moment at
+most one process is sending, and each member waits a full ring rotation
+between its bursts (paper §7.2: "Token has low throughput because only
+one process may send at any time").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict
+
+from repro.baselines.common import BroadcastGroup
+from repro.net.topology import Topology
+from repro.sim import Simulator
+
+
+class TokenRingBroadcast(BroadcastGroup):
+    """Total order broadcast gated by a circulating token."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        n_members: int,
+        cpu_ns_per_msg: int = 200,
+        payload_bytes: int = 64,
+        max_burst: int = 16,
+    ) -> None:
+        self.max_burst = max_burst
+        self._queues: Dict[int, deque] = {}
+        self.token_rotations = 0
+        super().__init__(
+            sim, topology, n_members, cpu_ns_per_msg, payload_bytes
+        )
+
+    def _wire(self) -> None:
+        for member in self.members:
+            self._queues[member.index] = deque()
+            state = _MemberState()
+            member.messenger.on(
+                "token",
+                lambda src, body, m=member: self._on_token(m, body),
+            )
+            member.messenger.on(
+                "deliver",
+                lambda src, body, m=member, s=state: self._on_deliver(
+                    m, s, body
+                ),
+            )
+
+    def start(self) -> None:
+        """Inject the token at member 0."""
+        self.sim.call_soon(self._on_token, self.members[0], 1)
+
+    # ------------------------------------------------------------------
+    def broadcast(self, sender_index: int, payload: Any) -> None:
+        self._queues[sender_index].append(payload)
+
+    def _on_token(self, member, next_seq: int) -> None:
+        queue = self._queues[member.index]
+        burst = 0
+        while queue and burst < self.max_burst:
+            payload = queue.popleft()
+            for target in self.members:
+                member.messenger.send(
+                    target.proc_id,
+                    target.host.node_id,
+                    "deliver",
+                    (next_seq, member.index, payload),
+                    size_bytes=self.payload_bytes,
+                )
+            next_seq += 1
+            burst += 1
+        successor = self.members[(member.index + 1) % len(self.members)]
+        if successor.index == 0:
+            self.token_rotations += 1
+        member.messenger.send(
+            successor.proc_id,
+            successor.host.node_id,
+            "token",
+            next_seq,
+            size_bytes=32,
+        )
+
+    def _on_deliver(self, member, state: "_MemberState", body: Any) -> None:
+        seq, sender_index, payload = body
+        state.pending[seq] = (sender_index, payload)
+        while state.next_expected in state.pending:
+            src, item = state.pending.pop(state.next_expected)
+            member.record_delivery(state.next_expected, src, item)
+            state.next_expected += 1
+
+
+class _MemberState:
+    __slots__ = ("next_expected", "pending")
+
+    def __init__(self) -> None:
+        self.next_expected = 1
+        self.pending: Dict[int, Any] = {}

@@ -1,0 +1,135 @@
+"""Utilities for regenerating the paper's tables and figures.
+
+Every benchmark produces a :class:`Series` per curve of the figure,
+prints a paper-style table (visible in ``pytest benchmarks/`` output —
+``benchmarks/pytest.ini`` disables capture), and persists the raw
+numbers to ``results/<figure>.json`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.sim import Simulator
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "results")
+
+
+class Series:
+    """One labelled curve: x values -> y values (+ optional extras)."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.points: List[tuple] = []
+
+    def add(self, x: Any, y: Any, **extra: Any) -> None:
+        self.points.append((x, y, extra) if extra else (x, y))
+
+    def xs(self) -> List[Any]:
+        return [p[0] for p in self.points]
+
+    def ys(self) -> List[Any]:
+        return [p[1] for p in self.points]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"label": self.label, "points": self.points}
+
+
+def print_table(
+    title: str,
+    x_header: str,
+    series: Sequence[Series],
+    fmt: str = "{:>12.3f}",
+) -> None:
+    """Render aligned columns: one row per x value, one column per series."""
+    print(f"\n### {title}")
+    xs = series[0].xs()
+    header = f"{x_header:>14} " + " ".join(
+        f"{s.label:>12}" for s in series
+    )
+    print(header)
+    print("-" * len(header))
+    for i, x in enumerate(xs):
+        cells = []
+        for s in series:
+            try:
+                y = s.ys()[i]
+            except IndexError:
+                cells.append(f"{'-':>12}")
+                continue
+            if y is None:
+                cells.append(f"{'-':>12}")
+            elif isinstance(y, float):
+                cells.append(fmt.format(y))
+            else:
+                cells.append(f"{y:>12}")
+        print(f"{str(x):>14} " + " ".join(cells))
+
+
+def save_results(name: str, payload: Any) -> str:
+    """Persist a benchmark's numbers to results/<name>.json."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, default=str)
+    return os.path.abspath(path)
+
+
+class LatencyProbe:
+    """Send tagged probes, record delivery latencies."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.sent: Dict[Any, int] = {}
+        self.latencies: List[int] = []
+
+    def mark_sent(self, tag: Any) -> None:
+        self.sent[tag] = self.sim.now
+
+    def mark_delivered(self, tag: Any) -> None:
+        start = self.sent.pop(tag, None)
+        if start is not None:
+            self.latencies.append(self.sim.now - start)
+
+    def mean_us(self) -> Optional[float]:
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies) / 1000
+
+    def percentile_us(self, p: float) -> Optional[float]:
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        rank = max(0, min(len(ordered) - 1, int(p / 100 * len(ordered)) - 1))
+        return ordered[rank] / 1000
+
+
+def closed_loop(
+    sim: Simulator,
+    issue: Callable[[Callable], None],
+    n_clients_slots: int,
+    until_ns: int,
+    counter: Optional[list] = None,
+) -> list:
+    """Run ``n_clients_slots`` concurrent closed-loop request slots.
+
+    ``issue(on_done)`` must start one request and call ``on_done()``
+    when it completes; the harness immediately issues the next one until
+    ``until_ns``.  Returns a single-element list with the completion
+    count (mutated live, so callers can inspect it mid-run).
+    """
+    completed = counter if counter is not None else [0]
+
+    def slot():
+        def on_done(*_args) -> None:
+            completed[0] += 1
+            if sim.now < until_ns:
+                issue(on_done)
+
+        issue(on_done)
+
+    for _ in range(n_clients_slots):
+        sim.schedule(10_000, slot)
+    return completed

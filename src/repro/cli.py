@@ -1,0 +1,234 @@
+"""Command-line interface: quick experiments without writing code.
+
+Usage::
+
+    python -m repro.cli latency --mode chip --processes 32
+    python -m repro.cli broadcast --processes 16 --system 1pipe
+    python -m repro.cli failure --crash tor0.0
+    python -m repro.cli topology
+    python -m repro.cli snapshot
+
+Each subcommand builds the paper's 32-host testbed, runs a short
+deterministic simulation, and prints a summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+
+from repro.onepipe import OnePipeCluster, OnePipeConfig
+from repro.sim import Simulator
+
+
+def cmd_topology(args) -> int:
+    from repro.net import build_testbed
+
+    sim = Simulator(seed=args.seed)
+    topo = build_testbed(sim)
+    print(f"hosts: {len(topo.hosts)}")
+    print(f"logical switches: {len(topo.switches)}")
+    print(f"physical links: {len(topo.external_links())}")
+    for name in sorted(topo.switches):
+        switch = topo.switches[name]
+        print(f"  {name:16s} in={len(switch.in_links):2d} "
+              f"out={len(switch.out_links):2d} routes={len(switch.routes)}")
+    return 0
+
+
+def cmd_latency(args) -> int:
+    sim = Simulator(seed=args.seed)
+    cluster = OnePipeCluster(
+        sim,
+        n_processes=args.processes,
+        config=OnePipeConfig(
+            mode=args.mode, beacon_interval_ns=args.beacon_us * 1000
+        ),
+    )
+    sends = {}
+    latencies = []
+    for i in range(args.processes):
+        cluster.endpoint(i).on_recv(
+            lambda m: latencies.append(sim.now - sends[m.payload])
+        )
+
+    def send(k):
+        sender = k % args.processes
+        dst = (sender + args.processes // 2 + 1) % args.processes
+        sends[k] = sim.now
+        ep = cluster.endpoint(sender)
+        fn = ep.reliable_send if args.reliable else ep.unreliable_send
+        fn([(dst, k)])
+
+    for k in range(args.count):
+        sim.schedule(50_000 + k * 10_000, send, k)
+    sim.run(until=50_000 + args.count * 10_000 + 1_000_000)
+    if not latencies:
+        print("no deliveries — check parameters", file=sys.stderr)
+        return 1
+    service = "reliable" if args.reliable else "best-effort"
+    print(f"{service} 1Pipe, mode={args.mode}, "
+          f"{args.processes} processes, {len(latencies)} probes")
+    print(f"  mean {statistics.mean(latencies) / 1000:.2f} us   "
+          f"p95 {sorted(latencies)[int(len(latencies) * 0.95) - 1] / 1000:.2f} us")
+    return 0
+
+
+def cmd_broadcast(args) -> int:
+    from repro.baselines import (
+        LamportBroadcast,
+        SequencerBroadcast,
+        TokenRingBroadcast,
+    )
+    from repro.net import build_testbed
+
+    sim = Simulator(seed=args.seed)
+    n = args.processes
+    window = 1_000_000
+    if args.system == "1pipe":
+        cluster = OnePipeCluster(sim, n_processes=n)
+        delivered = [0]
+        for i in range(n):
+            cluster.endpoint(i).on_recv(
+                lambda m: delivered.__setitem__(0, delivered[0] + 1)
+            )
+
+        def blast(s):
+            cluster.endpoint(s).unreliable_send(
+                [(d, "x") for d in range(n) if d != s]
+            )
+
+        for s in range(n):
+            sim.every(20_000, blast, s)
+        sim.run(until=window)
+        count = delivered[0]
+    else:
+        topo = build_testbed(sim)
+        if args.system in ("switchseq", "hostseq"):
+            group = SequencerBroadcast(
+                sim, topo, n,
+                kind="switch" if args.system == "switchseq" else "host",
+            )
+        elif args.system == "token":
+            group = TokenRingBroadcast(sim, topo, n)
+            group.start()
+        else:
+            group = LamportBroadcast(sim, topo, n)
+        for s in range(n):
+            sim.every(20_000, group.broadcast, s, "x")
+        sim.run(until=window)
+        count = group.total_delivered()
+    rate = count / n * 1e9 / window
+    print(f"{args.system}: {count} deliveries in 1 ms "
+          f"({rate / 1e3:.0f} K msg/s per process)")
+    return 0
+
+
+def cmd_failure(args) -> int:
+    from repro.net import FailureInjector
+
+    sim = Simulator(seed=args.seed)
+    cluster = OnePipeCluster(sim, n_processes=8)
+    injector = FailureInjector(cluster.topology)
+
+    def traffic():
+        for s in range(8):
+            ep = cluster.endpoint(s)
+            if not ep.agent.host.failed:
+                ep.reliable_send([((s + 1) % 8, "x")])
+
+    sim.every(20_000, traffic)
+    crash_at = 150_000
+    if args.crash.startswith("h"):
+        injector.crash_host(args.crash, at=crash_at)
+    else:
+        injector.crash_switch(args.crash, at=crash_at)
+    sim.run(until=3_000_000)
+    controller = cluster.controller
+    print(f"crashed {args.crash} at {crash_at / 1000:.0f} us")
+    print(f"failed processes: {sorted(controller.failed_procs)}")
+    for episode in controller.recoveries:
+        print(f"recovery: detect {episode.first_report_time / 1000:.0f} us, "
+              f"resume {episode.resume_time / 1000:.0f} us "
+              f"({episode.duration_ns / 1000:.0f} us coordinated)")
+    return 0
+
+
+def cmd_snapshot(args) -> int:
+    from repro.apps.snapshot import TokenConservationDemo
+
+    sim = Simulator(seed=args.seed)
+    cluster = OnePipeCluster(sim, n_processes=6)
+    demo = TokenConservationDemo(cluster, list(range(6)))
+    rng = sim.rng("transfers")
+    for k in range(60):
+        src = rng.randrange(6)
+        dst = (src + 1 + rng.randrange(5)) % 6
+        sim.schedule(20_000 + k * 5_000, demo.transfer, src, dst,
+                     rng.randint(1, 20))
+    totals = []
+    for t in (60_000, 180_000):
+        sim.schedule(
+            t,
+            lambda: demo.snapshot_total(0).add_callback(
+                lambda f: totals.append(f.value)
+            ),
+        )
+    sim.run(until=2_000_000)
+    print(f"invariant total: {demo.total}")
+    print(f"snapshot totals during concurrent transfers: {totals}")
+    print("consistent!" if all(t == demo.total for t in totals)
+          else "INCONSISTENT")
+    return 0 if all(t == demo.total for t in totals) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="1Pipe reproduction: quick command-line experiments",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topology", help="print the testbed topology")
+
+    latency = sub.add_parser("latency", help="delivery latency probe")
+    latency.add_argument("--mode", default="chip",
+                         choices=["chip", "switch_cpu", "host_delegate"])
+    latency.add_argument("--processes", type=int, default=32)
+    latency.add_argument("--reliable", action="store_true")
+    latency.add_argument("--beacon-us", type=int, default=3)
+    latency.add_argument("--count", type=int, default=30)
+
+    broadcast = sub.add_parser("broadcast", help="total order broadcast")
+    broadcast.add_argument("--processes", type=int, default=8)
+    broadcast.add_argument(
+        "--system", default="1pipe",
+        choices=["1pipe", "switchseq", "hostseq", "token", "lamport"],
+    )
+
+    failure = sub.add_parser("failure", help="crash a component")
+    failure.add_argument("--crash", default="h3",
+                         help="host (h3) or switch (tor0.0, core0)")
+
+    sub.add_parser("snapshot", help="consistent snapshot demo")
+    return parser
+
+
+COMMANDS = {
+    "topology": cmd_topology,
+    "latency": cmd_latency,
+    "broadcast": cmd_broadcast,
+    "failure": cmd_failure,
+    "snapshot": cmd_snapshot,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

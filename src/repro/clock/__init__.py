@@ -1,0 +1,13 @@
+"""Host clock substrate: monotonic clocks with skew and PTP-style sync.
+
+1Pipe stamps every message with the sender host's synchronized monotonic
+clock (paper §4.1, §6.1).  Clock skew shifts delivery latency (receivers
+wait for the slowest clock's barrier) but can never violate correctness —
+this package models exactly that: per-host offset + drift relative to the
+simulated true time, periodically re-synchronized to a time master.
+"""
+
+from repro.clock.clock import HostClock
+from repro.clock.sync import ClockSyncService, SkewModel
+
+__all__ = ["ClockSyncService", "HostClock", "SkewModel"]

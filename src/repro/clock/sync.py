@@ -1,0 +1,119 @@
+"""PTP-style clock synchronization.
+
+The paper's testbed synchronizes clocks via PTP every 125 ms, achieving an
+average skew of 0.3 µs (1.0 µs at the 95th percentile).  We model the
+*outcome* of PTP rather than its packet exchange: at every sync epoch each
+host's residual offset from the master is redrawn from a configurable skew
+distribution, and between syncs the host drifts at its individual rate.
+
+This matches how skew enters 1Pipe: the message timestamp of a host is
+``true_time + residual_skew``, and delivery waits for the minimum barrier,
+i.e. for the *most-behind* clock — so skew adds (roughly) the max positive
+offset minus min offset to the barrier wait, which the latency benchmarks
+reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.clock.clock import HostClock
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class SkewModel:
+    """Distribution of residual clock offsets right after a sync.
+
+    ``sigma_ns`` is chosen so the paper's numbers come out: a half-normal
+    |offset| with sigma ≈ 375 ns has mean ≈ 300 ns and p95 ≈ 735 ns; the
+    paper reports mean 0.3 µs, p95 1.0 µs — we use sigma 450 ns by default
+    which lands mean ≈ 0.36 µs / p95 ≈ 0.88 µs, inside the reported band.
+    """
+
+    sigma_ns: float = 450.0
+    drift_ppm_max: float = 10.0
+
+    def draw_offset(self, rng) -> float:
+        return rng.gauss(0.0, self.sigma_ns)
+
+    def draw_drift(self, rng) -> float:
+        return rng.uniform(-self.drift_ppm_max, self.drift_ppm_max)
+
+
+class ClockSyncService:
+    """Periodically re-synchronizes a fleet of host clocks to the master.
+
+    The master (rank 0 by convention) has zero offset.  Every
+    ``sync_interval_ns`` each clock's offset is redrawn from the skew model
+    (representing the residual error of a real PTP exchange) and its drift
+    is re-drawn occasionally to model temperature-dependent oscillators.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        skew_model: Optional[SkewModel] = None,
+        sync_interval_ns: int = 125_000_000,
+        rng_name: str = "clock.sync",
+        epoch_ns: int = 1_000_000_000,
+    ) -> None:
+        self.sim = sim
+        self.skew_model = skew_model or SkewModel()
+        self.sync_interval_ns = sync_interval_ns
+        # Wall clocks read a large positive epoch: timestamps are always
+        # positive, so "0" is an unambiguous below-everything sentinel
+        # for barrier registers and delivery floors.
+        self.epoch_ns = epoch_ns
+        self._rng = sim.rng(rng_name)
+        self._clocks: Dict[str, HostClock] = {}
+        self._master: Optional[str] = None
+        self._task = None
+
+    def register(self, host_id: str, is_master: bool = False) -> HostClock:
+        """Create and register the clock for ``host_id``."""
+        if host_id in self._clocks:
+            raise ValueError(f"duplicate host clock: {host_id}")
+        if is_master:
+            if self._master is not None:
+                raise ValueError(f"master already registered: {self._master}")
+            self._master = host_id
+            offset = 0.0
+            drift = 0.0
+        else:
+            offset = self.skew_model.draw_offset(self._rng)
+            drift = self.skew_model.draw_drift(self._rng)
+        clock = HostClock(
+            self.sim, offset_ns=self.epoch_ns + int(offset), drift_ppm=drift
+        )
+        self._clocks[host_id] = clock
+        return clock
+
+    def clock(self, host_id: str) -> HostClock:
+        return self._clocks[host_id]
+
+    def start(self) -> None:
+        """Begin periodic re-synchronization."""
+        if self._task is not None:
+            raise RuntimeError("sync service already started")
+        self._task = self.sim.every(self.sync_interval_ns, self._sync_all)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _sync_all(self) -> None:
+        for host_id, clock in self._clocks.items():
+            if host_id == self._master:
+                continue
+            target_offset = self.epoch_ns + self.skew_model.draw_offset(self._rng)
+            clock.adjust(target_offset - clock.offset_ns)
+
+    def max_skew_ns(self) -> float:
+        """Worst-case pairwise skew right now (diagnostics/benchmarks)."""
+        if not self._clocks:
+            return 0.0
+        offsets = [clock.offset_ns for clock in self._clocks.values()]
+        return max(offsets) - min(offsets)

@@ -1,0 +1,21 @@
+"""Consensus substrate: a compact Raft implementation.
+
+The paper's controller is "replicated using Paxos or Raft, so it is
+highly available, and only one controller is active at any time" (§5.2),
+with state stored in etcd (§6.1).  This package provides that substrate:
+
+- :class:`~repro.consensus.raft.RaftNode` / `RaftGroup` — leader
+  election, log replication and commitment over a message-delay network
+  model (the management network).
+- :class:`~repro.consensus.raft.RaftReplicator` — the adapter plugged
+  into :class:`repro.onepipe.controller.Controller`, so controller state
+  transitions commit through a quorum before taking effect.
+
+The same group is used by application-level fallbacks (e.g. the TPC-C
+replica recovery path of §7.3.2, where "the other replicas of the same
+shard reach quorum via traditional consensus").
+"""
+
+from repro.consensus.raft import RaftGroup, RaftNode, RaftReplicator
+
+__all__ = ["RaftGroup", "RaftNode", "RaftReplicator"]

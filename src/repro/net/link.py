@@ -1,0 +1,196 @@
+"""Unidirectional FIFO links.
+
+A link models the output queue of the upstream node plus the wire:
+
+- **Serialization**: packets occupy the wire for ``wire_bytes * 8 /
+  bandwidth`` — back-to-back packets queue behind each other (FIFO), which
+  is the property barrier aggregation relies on (paper §4.1).
+- **Propagation**: fixed one-way delay.
+- **Tail drop**: if the queue backlog (bytes waiting to start
+  serialization) would exceed capacity, the packet is dropped — data
+  center switches are shallow-buffered (paper §3.2).
+- **ECN**: packets are marked when the backlog at enqueue exceeds the ECN
+  threshold, feeding the DCTCP-style congestion control in
+  :mod:`repro.net.transport`.
+- **Corruption loss**: each packet is independently dropped with
+  ``loss_rate`` probability (models the 1e-8…1e-1 sweeps of Fig. 9b and
+  Fig. 15b).
+
+Links can be taken down (``fail()``) for failure experiments: a failed
+link silently discards traffic, which is exactly what crash-stop looks
+like to the other end.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim import Simulator
+from repro.net.packet import Packet, PacketKind
+
+_BEACON_KIND = PacketKind.BEACON
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.switch import Node
+
+
+def gbps_to_bytes_per_ns(gbps: float) -> float:
+    """100 Gbps == 12.5 bytes/ns."""
+    return gbps / 8.0
+
+
+class Link:
+    """One direction of a cable between two nodes.
+
+    Parameters
+    ----------
+    sim, name:
+        Simulator and a unique, human-readable link name
+        (``"h0->tor0.up"``).
+    src, dst:
+        The endpoint nodes; ``dst.receive(packet, self)`` is invoked on
+        delivery.
+    bandwidth_gbps, prop_delay_ns:
+        Wire characteristics.
+    queue_capacity_bytes:
+        Tail-drop threshold; ``None`` disables drops (infinite buffer).
+    ecn_threshold_bytes:
+        Backlog above which packets are ECN-marked; ``None`` disables.
+    loss_rate:
+        Independent per-packet corruption probability.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        src: "Node",
+        dst: "Node",
+        bandwidth_gbps: float = 100.0,
+        prop_delay_ns: int = 100,
+        queue_capacity_bytes: Optional[int] = 200_000,
+        ecn_threshold_bytes: Optional[int] = 80_000,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if bandwidth_gbps <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_gbps}")
+        if prop_delay_ns < 0:
+            raise ValueError(f"negative propagation delay: {prop_delay_ns}")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate out of range: {loss_rate}")
+        self.sim = sim
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.bytes_per_ns = gbps_to_bytes_per_ns(bandwidth_gbps)
+        self.bandwidth_gbps = bandwidth_gbps
+        self.prop_delay_ns = int(prop_delay_ns)
+        self.queue_capacity_bytes = queue_capacity_bytes
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.loss_rate = loss_rate
+        self._rng = sim.rng(f"link.loss.{name}") if loss_rate > 0 else None
+        self.up = True
+        # Optional selective drop predicate (failure injection in tests:
+        # e.g. drop only data packets while letting beacons through).
+        self.drop_filter = None
+
+        self._busy_until = 0  # when the last queued packet finishes serializing
+        self._backlog_bytes = 0  # bytes queued but not yet fully serialized
+        self.last_tx_time = 0  # last time a packet was enqueued (beacon logic)
+        # Last non-beacon enqueue: data packets carry fresh barriers in
+        # the programmable-chip incarnation, so links busy with data do
+        # not need beacons even if a beacon was just relayed on them.
+        self.last_data_tx = 0
+
+        # Statistics.
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.dropped_overflow = 0
+        self.dropped_corruption = 0
+        self.dropped_down = 0
+        self.ecn_marked = 0
+
+    # ------------------------------------------------------------------
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the corruption probability (used by loss-sweep benches)."""
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate out of range: {loss_rate}")
+        self.loss_rate = loss_rate
+        if loss_rate > 0 and self._rng is None:
+            self._rng = self.sim.rng(f"link.loss.{self.name}")
+
+    def fail(self) -> None:
+        """Take the link down: subsequent sends are silently discarded."""
+        self.up = False
+
+    def recover(self) -> None:
+        self.up = True
+
+    @property
+    def queue_bytes(self) -> int:
+        """Current backlog (for tests and ECN diagnostics)."""
+        return self._backlog_bytes
+
+    def idle_since(self, now: int) -> int:
+        """Nanoseconds since the last packet was enqueued."""
+        return now - self.last_tx_time
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet``; returns False if it was dropped.
+
+        The caller (a node) has already made its forwarding decision; the
+        link applies queueing, marking, loss, and schedules delivery.
+        """
+        sim = self.sim
+        self.last_tx_time = sim.now
+        if packet.kind != _BEACON_KIND:
+            self.last_data_tx = sim.now
+        if not self.up:
+            self.dropped_down += 1
+            return False
+        size = packet.wire_bytes
+        if (
+            self.queue_capacity_bytes is not None
+            and self._backlog_bytes + size > self.queue_capacity_bytes
+        ):
+            self.dropped_overflow += 1
+            return False
+        if (
+            self.ecn_threshold_bytes is not None
+            and self._backlog_bytes > self.ecn_threshold_bytes
+        ):
+            packet.ecn = True
+            self.ecn_marked += 1
+
+        serialization = int(size / self.bytes_per_ns)
+        start = max(sim.now, self._busy_until)
+        done_serializing = start + serialization
+        self._busy_until = done_serializing
+        self._backlog_bytes += size
+        self.tx_packets += 1
+        self.tx_bytes += size
+
+        sim.schedule_at(done_serializing, self._dequeued, size)
+        sim.schedule_at(done_serializing + self.prop_delay_ns, self._deliver, packet)
+        return True
+
+    def _dequeued(self, size: int) -> None:
+        self._backlog_bytes -= size
+
+    def _deliver(self, packet: Packet) -> None:
+        if not self.up:
+            # The link went down while the packet was in flight.
+            self.dropped_down += 1
+            return
+        if self._rng is not None and self._rng.random() < self.loss_rate:
+            self.dropped_corruption += 1
+            return
+        if self.drop_filter is not None and self.drop_filter(packet):
+            self.dropped_corruption += 1
+            return
+        self.dst.receive(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.name} {state} backlog={self._backlog_bytes}B>"

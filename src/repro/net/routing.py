@@ -1,0 +1,109 @@
+"""Shortest-path DAG routing with ECMP.
+
+Routes are computed over the *logical* routing graph (up/down switch
+halves, paper Fig. 3).  Among switches this graph is a DAG — that is the
+property hierarchical barrier aggregation relies on — while hosts appear
+as both sources (uplink edges) and sinks (downlink edges) and never
+forward, so the BFS below refuses to traverse *through* a host.
+
+For every destination host we run a reverse BFS and install, at each
+switch, every outgoing link that lies on a shortest path.  Ties form the
+ECMP set; the switch picks among them by flow hash (default) or
+per-packet spraying.
+
+This generic computation reproduces up/down (valley-free) routing on
+fat-trees without hard-coding the tier structure, so tests can build
+irregular topologies and the controller can recompute routes after
+failures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable
+
+import networkx as nx
+
+from repro.net.nic import Host
+from repro.net.switch import Switch
+
+
+def check_switch_dag(graph: nx.DiGraph) -> None:
+    """Verify the switch-to-switch subgraph is acyclic.
+
+    Cycles through hosts are fine (hosts never forward); a cycle among
+    switches would break both forwarding and barrier aggregation.
+    """
+    switch_ids = [
+        node_id
+        for node_id, data in graph.nodes(data=True)
+        if isinstance(data.get("obj"), Switch)
+    ]
+    if not nx.is_directed_acyclic_graph(graph.subgraph(switch_ids)):
+        raise ValueError(
+            "switch routing graph must be a DAG (up/down logical split)"
+        )
+
+
+def _reverse_bfs_distances(graph: nx.DiGraph, dst: str) -> Dict[str, int]:
+    """Hop distance to ``dst`` for every node with a forwarding path.
+
+    Walks reversed edges, never expanding out of a host node other than
+    the destination itself (packets cannot be forwarded through a host).
+    """
+    dist = {dst: 0}
+    queue = deque([dst])
+    while queue:
+        node_id = queue.popleft()
+        if node_id != dst and isinstance(
+            graph.nodes[node_id].get("obj"), Host
+        ):
+            continue  # hosts are leaves of the forwarding graph
+        for pred in graph.predecessors(node_id):
+            if pred not in dist:
+                dist[pred] = dist[node_id] + 1
+                queue.append(pred)
+    return dist
+
+
+def compute_routes(
+    graph: nx.DiGraph, hosts: Iterable[Host], exclude_links=frozenset()
+) -> int:
+    """Populate ``Switch.routes`` for every switch in ``graph``.
+
+    ``graph`` nodes are node ids; edges carry ``link=Link`` attributes.
+    ``exclude_links`` removes dead links before computation (the SDN
+    controller reconfiguring routing tables on failure, paper §3.1).
+    Returns the number of route entries installed (for diagnostics).
+    """
+    if exclude_links:
+        working = nx.DiGraph()
+        working.add_nodes_from(graph.nodes(data=True))
+        for u, v, data in graph.edges(data=True):
+            if data.get("link") not in exclude_links:
+                working.add_edge(u, v, **data)
+        graph = working
+    check_switch_dag(graph)
+    installed = 0
+    for host in hosts:
+        dst = host.node_id
+        dist = _reverse_bfs_distances(graph, dst)
+        for node_id, node_dist in dist.items():
+            if node_id == dst:
+                continue
+            node = graph.nodes[node_id].get("obj")
+            if not isinstance(node, Switch):
+                continue  # hosts do not route
+            for _, nbr, data in graph.out_edges(node_id, data=True):
+                if dist.get(nbr, -1) == node_dist - 1:
+                    node.add_route(dst, data["link"])
+                    installed += 1
+    return installed
+
+
+def clear_routes(graph: nx.DiGraph) -> None:
+    """Remove all installed routes (before a recompute)."""
+    for _node_id, data in graph.nodes(data=True):
+        node = data.get("obj")
+        if isinstance(node, Switch):
+            node.routes.clear()

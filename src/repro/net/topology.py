@@ -1,0 +1,273 @@
+"""Fat-tree / multi-rooted Clos topology builder.
+
+Builds the paper's testbed by default: 32 hosts, 4 ToR + 4 spine + 2 core
+switches in a 3-layer fat-tree (§7.1), with every physical switch split
+into *up* and *down* logical halves joined by an internal loopback link
+(Fig. 3).  Forwarding delay is charged once per physical traversal: the
+down half skips its pipeline delay for packets arriving on the loopback,
+so path latency scales with the paper's 1/3/5 switch-hop counts.
+
+Process placement follows §7.1: up to 8 processes sit in one rack on
+distinct servers, 16 use two racks of the same pod, 32 use every server,
+and larger counts stack processes per host evenly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.clock import ClockSyncService, SkewModel
+from repro.net.link import Link
+from repro.net.nic import Host
+from repro.net.routing import compute_routes
+from repro.net.switch import Switch
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class TopologyParams:
+    """Knobs for the fat-tree builder (defaults = paper testbed)."""
+
+    n_pods: int = 2
+    tors_per_pod: int = 2
+    spines_per_pod: int = 2
+    n_cores: int = 2
+    hosts_per_tor: int = 8
+    host_link_gbps: float = 100.0
+    fabric_link_gbps: float = 100.0
+    oversubscription: float = 1.0  # divides core-link bandwidth (Fig. 12b)
+    link_prop_delay_ns: int = 100
+    forwarding_delay_ns: int = 250
+    nic_delay_ns: int = 250
+    queue_capacity_bytes: Optional[int] = 200_000
+    ecn_threshold_bytes: Optional[int] = 80_000
+    loss_rate: float = 0.0
+    skew_model: SkewModel = field(default_factory=SkewModel)
+    clock_sync_interval_ns: int = 1_000_000
+
+    @property
+    def n_hosts(self) -> int:
+        return self.n_pods * self.tors_per_pod * self.hosts_per_tor
+
+
+class Topology:
+    """A built network: nodes, links, routing graph, clocks."""
+
+    def __init__(self, sim: Simulator, params: TopologyParams) -> None:
+        self.sim = sim
+        self.params = params
+        self.hosts: List[Host] = []
+        self.switches: Dict[str, Switch] = {}
+        self.links: Dict[str, Link] = {}
+        self.graph = nx.DiGraph()
+        self.clock_sync = ClockSyncService(
+            sim,
+            skew_model=params.skew_model,
+            sync_interval_ns=params.clock_sync_interval_ns,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers (used by build_fat_tree)
+    # ------------------------------------------------------------------
+    def add_switch(self, node_id: str, forwarding_delay_ns: int) -> Switch:
+        switch = Switch(self.sim, node_id, forwarding_delay_ns)
+        self.switches[node_id] = switch
+        self.graph.add_node(node_id, obj=switch)
+        return switch
+
+    def add_host(self, node_id: str, is_master_clock: bool = False) -> Host:
+        clock = self.clock_sync.register(node_id, is_master=is_master_clock)
+        host = Host(
+            self.sim, node_id, clock=clock, nic_delay_ns=self.params.nic_delay_ns
+        )
+        self.hosts.append(host)
+        self.graph.add_node(node_id, obj=host)
+        return host
+
+    def add_link(
+        self,
+        src,
+        dst,
+        bandwidth_gbps: float,
+        internal: bool = False,
+        prop_delay_ns: Optional[int] = None,
+    ) -> Link:
+        params = self.params
+        name = f"{src.node_id}->{dst.node_id}"
+        if name in self.links:
+            raise ValueError(f"duplicate link {name}")
+        # Internal loopbacks model the switching fabric, which is
+        # non-blocking: give them effectively infinite bandwidth so
+        # contention shows up at egress ports (real links), not inside
+        # the switch.
+        if internal:
+            bandwidth_gbps = 1_000_000.0
+        link = Link(
+            self.sim,
+            name,
+            src,
+            dst,
+            bandwidth_gbps=bandwidth_gbps,
+            prop_delay_ns=(
+                prop_delay_ns
+                if prop_delay_ns is not None
+                else (0 if internal else params.link_prop_delay_ns)
+            ),
+            queue_capacity_bytes=None if internal else params.queue_capacity_bytes,
+            ecn_threshold_bytes=None if internal else params.ecn_threshold_bytes,
+            loss_rate=0.0 if internal else params.loss_rate,
+        )
+        link.internal = internal  # type: ignore[attr-defined]
+        self.links[name] = link
+        src.attach_out_link(link)
+        dst.attach_in_link(link)
+        self.graph.add_edge(src.node_id, dst.node_id, link=link)
+        return link
+
+    # ------------------------------------------------------------------
+    # Lookup / utilities
+    # ------------------------------------------------------------------
+    def host(self, index: int) -> Host:
+        return self.hosts[index]
+
+    def host_by_id(self, node_id: str) -> Host:
+        for host in self.hosts:
+            if host.node_id == node_id:
+                return host
+        raise KeyError(node_id)
+
+    def node(self, node_id: str):
+        return self.graph.nodes[node_id]["obj"]
+
+    def link(self, src_id: str, dst_id: str) -> Link:
+        return self.links[f"{src_id}->{dst_id}"]
+
+    def external_links(self) -> List[Link]:
+        """All physical (non-loopback) links."""
+        return [
+            link
+            for link in self.links.values()
+            if not getattr(link, "internal", False)
+        ]
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Apply a corruption probability to every physical link."""
+        for link in self.external_links():
+            link.set_loss_rate(loss_rate)
+
+    def tor_of(self, host_id: str) -> str:
+        """Physical ToR name (without the .up/.down suffix) of a host."""
+        for link in self.host_by_id(host_id).out_links:
+            dst = link.dst.node_id
+            if dst.endswith(".up"):
+                return dst[: -len(".up")]
+        raise KeyError(f"no ToR found for {host_id}")
+
+    def start_clock_sync(self) -> None:
+        self.clock_sync.start()
+
+    # ------------------------------------------------------------------
+    # Process placement (paper §7.1)
+    # ------------------------------------------------------------------
+    def assign_hosts(self, n_procs: int) -> List[Host]:
+        """Host for each of ``n_procs`` process slots, paper-style.
+
+        - ``n <= hosts_per_tor``: distinct servers in one rack (1 hop);
+        - ``n <= 2 * hosts_per_tor``: two racks of the same pod (3 hops);
+        - ``n <= n_hosts``: spread over all racks (5 hops);
+        - larger: processes stacked evenly over all hosts.
+        """
+        if n_procs <= 0:
+            raise ValueError(f"n_procs must be positive: {n_procs}")
+        params = self.params
+        per_rack = params.hosts_per_tor
+        if n_procs <= per_rack:
+            pool = self.hosts[:per_rack]
+        elif n_procs <= 2 * per_rack and params.tors_per_pod >= 2:
+            pool = self.hosts[: 2 * per_rack]
+        else:
+            pool = self.hosts
+        return [pool[i % len(pool)] for i in range(n_procs)]
+
+
+def build_fat_tree(sim: Simulator, params: Optional[TopologyParams] = None) -> Topology:
+    """Build a pods/spines/cores fat-tree with logical up/down switches."""
+    params = params or TopologyParams()
+    if params.n_cores % params.spines_per_pod != 0 and params.n_pods > 1:
+        raise ValueError(
+            "n_cores must be a multiple of spines_per_pod so every spine "
+            f"has a core uplink: cores={params.n_cores}, "
+            f"spines/pod={params.spines_per_pod}"
+        )
+    topo = Topology(sim, params)
+    fwd = params.forwarding_delay_ns
+
+    cores = [topo.add_switch(f"core{c}", fwd) for c in range(params.n_cores)]
+
+    host_index = 0
+    for p in range(params.n_pods):
+        spines_up = []
+        spines_down = []
+        for s in range(params.spines_per_pod):
+            up = topo.add_switch(f"spine{p}.{s}.up", fwd)
+            down = topo.add_switch(f"spine{p}.{s}.down", fwd)
+            topo.add_link(up, down, params.fabric_link_gbps, internal=True)
+            spines_up.append(up)
+            spines_down.append(down)
+            # Core wiring: spine s of every pod connects to cores
+            # c with c % spines_per_pod == s (standard fat-tree striping).
+            core_gbps = params.fabric_link_gbps / params.oversubscription
+            for c, core in enumerate(cores):
+                if c % params.spines_per_pod == s:
+                    topo.add_link(up, core, core_gbps)
+                    topo.add_link(core, down, core_gbps)
+
+        for t in range(params.tors_per_pod):
+            tor_up = topo.add_switch(f"tor{p}.{t}.up", fwd)
+            tor_down = topo.add_switch(f"tor{p}.{t}.down", fwd)
+            topo.add_link(tor_up, tor_down, params.fabric_link_gbps, internal=True)
+            for s in range(params.spines_per_pod):
+                topo.add_link(tor_up, spines_up[s], params.fabric_link_gbps)
+                topo.add_link(spines_down[s], tor_down, params.fabric_link_gbps)
+            for _h in range(params.hosts_per_tor):
+                host = topo.add_host(
+                    f"h{host_index}", is_master_clock=(host_index == 0)
+                )
+                host_index += 1
+                up_link = topo.add_link(host, tor_up, params.host_link_gbps)
+                down_link = topo.add_link(tor_down, host, params.host_link_gbps)
+                host.set_uplink(up_link)
+                host.set_downlink(down_link)
+
+    compute_routes(topo.graph, topo.hosts)
+    return topo
+
+
+def build_testbed(
+    sim: Simulator, **overrides
+) -> Topology:
+    """The paper's evaluation testbed: 32 hosts, 4 ToR, 4 spine, 2 core."""
+    params = TopologyParams()
+    if overrides:
+        params = replace(params, **overrides)
+    return build_fat_tree(sim, params)
+
+
+def build_single_rack(
+    sim: Simulator, n_hosts: int = 8, **overrides
+) -> Tuple[Topology, List[Host]]:
+    """A one-ToR topology for focused unit tests."""
+    params = TopologyParams(
+        n_pods=1,
+        tors_per_pod=1,
+        spines_per_pod=1,
+        n_cores=1,
+        hosts_per_tor=n_hosts,
+    )
+    if overrides:
+        params = replace(params, **overrides)
+    topo = build_fat_tree(sim, params)
+    return topo, topo.hosts

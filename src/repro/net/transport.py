@@ -1,0 +1,210 @@
+"""Flow control and DCTCP-style congestion control.
+
+1Pipe implements end-to-end flow and congestion control in software on
+top of unreliable datagrams (§6.1): a per-destination send window — the
+minimum of the receiver-granted window and the congestion window — gates
+packet release, and the congestion window follows DCTCP using ECN marks
+echoed in ACKs.
+
+This module provides:
+
+- :class:`DctcpState` — the per-destination congestion window machinery,
+  shared by the 1Pipe sender and the background flows;
+- :class:`SendWindow` — combined flow/congestion window with credit
+  accounting for scatterings (a scattering acquires credits for *all*
+  destinations before any packet is released, avoiding live-lock, §6.1);
+- :class:`BackgroundFlow` — a long-running window-limited flow used to
+  create realistic queuing for the Fig. 12 experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.nic import Host
+from repro.net.packet import DEFAULT_MTU_PAYLOAD, Packet, PacketKind
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class TransportParams:
+    """DCTCP and windowing knobs (packet-granularity windows)."""
+
+    init_cwnd: float = 64.0
+    min_cwnd: float = 2.0
+    max_cwnd: float = 512.0
+    receive_window: int = 256
+    dctcp_g: float = 1.0 / 16.0
+    rtx_timeout_ns: int = 100_000
+
+
+class DctcpState:
+    """DCTCP congestion window for one destination.
+
+    Standard DCTCP: maintain the EWMA ``alpha`` of the fraction of
+    ECN-marked ACKs per window, and on each window boundary with marks cut
+    ``cwnd`` by ``alpha / 2``; otherwise grow additively.
+    """
+
+    def __init__(self, params: TransportParams) -> None:
+        self.params = params
+        self.cwnd = params.init_cwnd
+        self.alpha = 0.0
+        self._acked_in_window = 0
+        self._marked_in_window = 0
+        self._window_target = int(self.cwnd)
+
+    def on_ack(self, ecn_marked: bool) -> None:
+        self._acked_in_window += 1
+        if ecn_marked:
+            self._marked_in_window += 1
+        if self._acked_in_window >= self._window_target:
+            self._end_window()
+
+    def on_timeout(self) -> None:
+        """Severe congestion signal: multiplicative backoff."""
+        self.cwnd = max(self.params.min_cwnd, self.cwnd / 2.0)
+        self._reset_window()
+
+    def _end_window(self) -> None:
+        params = self.params
+        fraction = self._marked_in_window / max(1, self._acked_in_window)
+        self.alpha = (1 - params.dctcp_g) * self.alpha + params.dctcp_g * fraction
+        if self._marked_in_window > 0:
+            self.cwnd = max(params.min_cwnd, self.cwnd * (1 - self.alpha / 2))
+        else:
+            self.cwnd = min(params.max_cwnd, self.cwnd + 1.0)
+        self._reset_window()
+
+    def _reset_window(self) -> None:
+        self._acked_in_window = 0
+        self._marked_in_window = 0
+        self._window_target = max(1, int(self.cwnd))
+
+
+class SendWindow:
+    """Per-destination in-flight accounting with scattering credits.
+
+    ``available()`` is ``min(cwnd, receive_window) - in_flight``.  A
+    scattering *reserves* credits on all its destinations atomically at
+    send time (the 1Pipe sender holds scatterings in a wait queue until
+    every destination has credit; reserved credits are not released to
+    other scatterings — paper §6.1's anti-livelock rule).
+    """
+
+    def __init__(self, params: TransportParams) -> None:
+        self.params = params
+        self.dctcp = DctcpState(params)
+        self.in_flight = 0
+        self.reserved = 0
+
+    def limit(self) -> int:
+        return int(min(self.dctcp.cwnd, self.params.receive_window))
+
+    def available(self) -> int:
+        return self.limit() - self.in_flight - self.reserved
+
+    def reserve(self, n_packets: int) -> bool:
+        if self.available() >= n_packets:
+            self.reserved += n_packets
+            return True
+        return False
+
+    def launch(self, n_packets: int) -> None:
+        """Convert reserved credits into in-flight packets."""
+        if n_packets > self.reserved:
+            raise ValueError("launching more packets than reserved")
+        self.reserved -= n_packets
+        self.in_flight += n_packets
+
+    def on_ack(self, ecn_marked: bool) -> None:
+        if self.in_flight > 0:
+            self.in_flight -= 1
+        self.dctcp.on_ack(ecn_marked)
+
+    def on_loss_detected(self) -> None:
+        if self.in_flight > 0:
+            self.in_flight -= 1
+
+    def on_timeout(self) -> None:
+        self.dctcp.on_timeout()
+
+
+class BackgroundFlow:
+    """A long-running window-limited flow between two hosts.
+
+    Used to congest the fabric for the queuing-delay experiments
+    (Fig. 12a): each flow keeps ``cwnd`` MTU-sized RAW packets in flight
+    from ``src_host`` to a sink endpoint on ``dst_host`` which echoes
+    ACKs; ECN marks drive DCTCP so flows share bottlenecks realistically.
+    """
+
+    _flow_ids = itertools.count(90_000_000)  # avoid app proc-id ranges
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src_host: Host,
+        dst_host: Host,
+        params: Optional[TransportParams] = None,
+        payload_bytes: int = DEFAULT_MTU_PAYLOAD,
+    ) -> None:
+        self.sim = sim
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.params = params or TransportParams()
+        self.payload_bytes = payload_bytes
+        self.src_proc = next(self._flow_ids)
+        self.dst_proc = next(self._flow_ids)
+        self.dctcp = DctcpState(self.params)
+        self.in_flight = 0
+        self.packets_acked = 0
+        self._psn = 0
+        self._running = False
+        src_host.register_endpoint(self.src_proc, self._on_ack_packet)
+        dst_host.register_endpoint(self.dst_proc, self._on_data_packet)
+
+    def start(self) -> None:
+        self._running = True
+        self._fill_window()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _fill_window(self) -> None:
+        while self._running and self.in_flight < int(self.dctcp.cwnd):
+            self._psn += 1
+            packet = Packet(
+                PacketKind.RAW,
+                src=self.src_proc,
+                dst=self.dst_proc,
+                src_host=self.src_host.node_id,
+                dst_host=self.dst_host.node_id,
+                psn=self._psn,
+                payload_bytes=self.payload_bytes,
+                payload=("__bg", None),
+            )
+            self.in_flight += 1
+            self.src_host.send_packet(packet)
+
+    def _on_data_packet(self, packet: Packet) -> None:
+        ack = Packet(
+            PacketKind.RAW,
+            src=self.dst_proc,
+            dst=self.src_proc,
+            src_host=self.dst_host.node_id,
+            dst_host=self.src_host.node_id,
+            psn=packet.psn,
+            payload_bytes=0,
+            payload=("__bg_ack", packet.ecn),
+        )
+        self.dst_host.send_packet(ack)
+
+    def _on_ack_packet(self, packet: Packet) -> None:
+        _tag, ecn_marked = packet.payload
+        self.in_flight = max(0, self.in_flight - 1)
+        self.packets_acked += 1
+        self.dctcp.on_ack(bool(ecn_marked))
+        self._fill_window()

@@ -1,0 +1,134 @@
+"""Barrier registers and min-aggregation (paper equation 4.1).
+
+Each switch (and each receiving host agent) keeps one register per input
+link holding the last barrier timestamp seen on that link.  Because links
+are FIFO and senders stamp non-decreasing barriers, each register is a
+lower bound on every future arrival from its link, and the minimum over
+all registers is a lower bound on every future arrival at the node.
+
+Two extra behaviours from the paper:
+
+- **Link removal** (§4.2 failure handling): a dead input link is removed
+  so the minimum can advance again.
+- **Link addition** (§4.2): a newly added link joins in a *pending* state
+  and is excluded from the minimum until its register catches up with the
+  current minimum — otherwise the node's emitted barrier could move
+  backwards, violating the monotonic-promise property.
+
+The file maintains the minimum incrementally: registers only grow, so the
+cached minimum is recomputed only when the register currently holding the
+minimum is updated or membership changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+
+class BarrierRegisterFile:
+    """Per-input-link barrier registers with an incremental minimum."""
+
+    def __init__(self) -> None:
+        self._registers: Dict[Hashable, int] = {}
+        self._pending: Dict[Hashable, int] = {}
+        self._min_cache: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_link(self, link_id: Hashable, initial: int = 0) -> None:
+        """Register a link present from the start (initial barrier 0)."""
+        if link_id in self._registers or link_id in self._pending:
+            raise ValueError(f"link already registered: {link_id!r}")
+        self._registers[link_id] = initial
+        self._invalidate()
+
+    def join_link(self, link_id: Hashable) -> None:
+        """Add a link in *pending* state (paper §4.2, link addition).
+
+        The link is excluded from the minimum until its barrier reaches
+        the current minimum, preserving monotonicity of emitted barriers.
+        """
+        if link_id in self._registers or link_id in self._pending:
+            raise ValueError(f"link already registered: {link_id!r}")
+        self._pending[link_id] = 0
+
+    def remove_link(self, link_id: Hashable) -> None:
+        """Drop a (dead) link so the minimum can advance (§4.2)."""
+        removed = self._registers.pop(link_id, None)
+        pending_removed = self._pending.pop(link_id, None)
+        if removed is None and pending_removed is None:
+            raise KeyError(f"unknown link: {link_id!r}")
+        self._invalidate()
+
+    def has_link(self, link_id: Hashable) -> bool:
+        return link_id in self._registers or link_id in self._pending
+
+    @property
+    def n_links(self) -> int:
+        return len(self._registers) + len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Updates and queries
+    # ------------------------------------------------------------------
+    def update(self, link_id: Hashable, barrier: int) -> None:
+        """Record a barrier observed on ``link_id`` (register := max).
+
+        FIFO links imply barriers arrive non-decreasing; taking the max
+        makes the register robust to reordered control traffic too.
+        """
+        pending = self._pending.get(link_id)
+        if pending is not None:
+            if barrier > pending:
+                self._pending[link_id] = barrier
+            # Promote once the newcomer caught up with the active minimum.
+            if self._pending[link_id] >= self.minimum():
+                self._registers[link_id] = self._pending.pop(link_id)
+                self._invalidate()
+            return
+        current = self._registers.get(link_id)
+        if current is None:
+            raise KeyError(f"unknown link: {link_id!r}")
+        if barrier <= current:
+            return
+        self._registers[link_id] = barrier
+        if self._min_cache is not None and current == self._min_cache:
+            self._invalidate()
+
+    def minimum(self) -> int:
+        """The barrier this node may promise downstream: min of registers.
+
+        With no (active) registers the node has no upstream constraints;
+        returns 0 in the degenerate empty case.
+        """
+        if self._min_cache is None:
+            if self._registers:
+                self._min_cache = min(self._registers.values())
+            else:
+                self._min_cache = 0
+        return self._min_cache
+
+    def register_value(self, link_id: Hashable) -> int:
+        if link_id in self._registers:
+            return self._registers[link_id]
+        if link_id in self._pending:
+            return self._pending[link_id]
+        raise KeyError(f"unknown link: {link_id!r}")
+
+    def laggards(self, threshold: int) -> list:
+        """Links whose register is below ``threshold`` (diagnostics; the
+        paper's control plane reports links whose barrier lags behind)."""
+        return [
+            link_id
+            for link_id, value in self._registers.items()
+            if value < threshold
+        ]
+
+    def _invalidate(self) -> None:
+        self._min_cache = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BarrierRegisterFile n={len(self._registers)} "
+            f"pending={len(self._pending)} min={self.minimum()}>"
+        )

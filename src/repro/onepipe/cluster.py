@@ -1,0 +1,127 @@
+"""One-call assembly of a complete 1Pipe deployment.
+
+``OnePipeCluster`` builds (or accepts) a topology, installs the
+configured ordering engine on every logical switch, runs a host agent on
+every host (beacons flow on every link from t=0, like a production
+deployment where lib1pipe is part of the base image), places process
+endpoints paper-style, and wires the controller.
+
+This is the entry point used by the examples and every benchmark::
+
+    sim = Simulator(seed=1)
+    cluster = OnePipeCluster(sim, n_processes=8)
+    cluster.endpoint(0).unreliable_send([(1, "hello")])
+    sim.run(until=1_000_000)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.rpc import Directory
+from repro.net.topology import Topology, build_testbed
+from repro.onepipe.api import OnePipeEndpoint
+from repro.onepipe.config import OnePipeConfig
+from repro.onepipe.controller import Controller
+from repro.onepipe.hostagent import HostAgent
+from repro.onepipe.incarnations import make_engine
+from repro.sim import Simulator
+
+
+class OnePipeCluster:
+    """A fully wired 1Pipe deployment on a data center topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_processes: int,
+        config: Optional[OnePipeConfig] = None,
+        topology: Optional[Topology] = None,
+        enable_controller: bool = True,
+        replicator=None,
+        start_clock_sync: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.config = config or OnePipeConfig()
+        self.topology = topology if topology is not None else build_testbed(sim)
+        self.directory = Directory()
+
+        self.controller: Optional[Controller] = None
+        failure_listener = None
+        if enable_controller:
+            self.controller = Controller(
+                sim, self.topology, self.config, self.directory, replicator
+            )
+            failure_listener = self.controller.make_failure_listener()
+
+        # Ordering engines on every logical switch.
+        self.engines: Dict[str, object] = {}
+        for switch_id, switch in self.topology.switches.items():
+            engine = make_engine(sim, self.config, failure_listener)
+            switch.install_engine(engine)
+            self.engines[switch_id] = engine
+            if self.controller is not None:
+                self.controller.register_engine(switch_id, engine)
+
+        # A host agent on every host (beacons from every uplink).
+        self.agents: Dict[str, HostAgent] = {}
+        for host in self.topology.hosts:
+            agent = HostAgent(host, self.config, self.directory, self.controller)
+            self.agents[host.node_id] = agent
+            if self.controller is not None:
+                self.controller.register_agent(agent)
+
+        # Process placement per the paper's methodology (§7.1).
+        self.endpoints: List[OnePipeEndpoint] = []
+        for proc_id, host in enumerate(self.topology.assign_hosts(n_processes)):
+            endpoint = OnePipeEndpoint(
+                self.agents[host.node_id], proc_id, self.config
+            )
+            self.endpoints.append(endpoint)
+            if self.controller is not None:
+                self.controller.register_endpoint(endpoint)
+
+        if start_clock_sync:
+            self.topology.start_clock_sync()
+
+    # ------------------------------------------------------------------
+    def endpoint(self, index: int) -> OnePipeEndpoint:
+        return self.endpoints[index]
+
+    @property
+    def n_processes(self) -> int:
+        return len(self.endpoints)
+
+    def agent_of(self, proc_id: int) -> HostAgent:
+        return self.endpoints[proc_id].agent
+
+    def add_endpoint(self, host_id: str, proc_id: int) -> OnePipeEndpoint:
+        """Register a new process (e.g. a recovered receiver re-joining
+        as a fresh process, §5.2).  If the host had been declared failed
+        and has since recovered, it is re-admitted (routes restored)."""
+        endpoint = OnePipeEndpoint(self.agents[host_id], proc_id, self.config)
+        self.endpoints.append(endpoint)
+        if self.controller is not None:
+            self.controller.register_endpoint(endpoint)
+            if host_id in self.controller.failed_hosts:
+                self.controller.reinstate_host(host_id)
+        return endpoint
+
+    def set_receiver_loss_rate(self, rate: float) -> None:
+        """Drop data packets at every receiving host agent with the given
+        probability (the paper's loss-injection methodology, §7.2:
+        beacons and link liveness are unaffected)."""
+        for agent in self.agents.values():
+            agent.set_receiver_loss_rate(rate)
+
+    def total_beacons(self) -> int:
+        """Beacons emitted by hosts and switches (overhead accounting)."""
+        total = sum(agent.beacons_sent for agent in self.agents.values())
+        total += sum(engine.beacons_sent for engine in self.engines.values())
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<OnePipeCluster procs={len(self.endpoints)} "
+            f"hosts={len(self.topology.hosts)} mode={self.config.mode}>"
+        )

@@ -1,0 +1,71 @@
+"""Deployment configuration for a 1Pipe cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.packet import DEFAULT_MTU_PAYLOAD
+from repro.net.transport import TransportParams
+
+# The three in-network incarnations (paper §6.2).
+MODE_CHIP = "chip"
+MODE_SWITCH_CPU = "switch_cpu"
+MODE_HOST_DELEGATE = "host_delegate"
+MODES = (MODE_CHIP, MODE_SWITCH_CPU, MODE_HOST_DELEGATE)
+
+
+@dataclass(frozen=True)
+class OnePipeConfig:
+    """All knobs of a 1Pipe deployment (defaults match the paper §7.1)."""
+
+    # --- ordering plane -------------------------------------------------
+    mode: str = MODE_CHIP
+    beacon_interval_ns: int = 3_000          # paper: 3 us
+    beacon_timeout_multiplier: int = 10      # dead link after 10 intervals
+    # Switch-CPU incarnation: per-beacon processing delay on the switch CPU
+    # (§6.2.2 — the CPU is ~1/3 of a host core and goes through the OS
+    # stack, so micro-seconds per hop).
+    switch_cpu_delay_ns: int = 10_000
+    # Host-delegation incarnation: switch<->representative RTT plus host
+    # processing, charged per hop (§6.2.3 — ~2 us per hop on the testbed).
+    host_delegate_delay_ns: int = 2_000
+
+    # --- endpoint data path ----------------------------------------------
+    mtu_payload: int = DEFAULT_MTU_PAYLOAD
+    cpu_ns_per_msg: int = 200                # receiver-side per-message CPU
+    ack_timeout_ns: int = 50_000             # best-effort loss detection
+    rtx_timeout_ns: int = 20_000             # reliable retransmission timer
+    max_retransmissions: int = 10
+    ack_bytes: int = 0                       # ACK payload size (headers only)
+    transport: TransportParams = field(default_factory=TransportParams)
+
+    # Deliver best-effort and reliable messages as one merged total order
+    # (gating best-effort messages behind uncommitted reliable messages
+    # with smaller timestamps).  Independent planes are only useful for
+    # microbenchmarks of a single service.
+    strict_merge: bool = True
+
+    # --- control plane ----------------------------------------------------
+    # One-way latency of the management network between any component and
+    # the controller (the paper assumes a separate, always-on management
+    # network; see Appendix "such a cut can always be found").
+    ctrl_delay_ns: int = 2_000
+    # How often switch engines scan input links for beacon timeouts.
+    liveness_scan_interval_ns: int = 3_000
+    # Settle window for relaying a beacon wave: after the first barrier
+    # increase of a wave, the switch waits this long so the relayed
+    # beacon aggregates the (almost simultaneous, §4.2) beacons of every
+    # input link rather than a partial minimum.
+    cascade_settle_ns: int = 100
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}, expected {MODES}")
+        if self.beacon_interval_ns <= 0:
+            raise ValueError("beacon interval must be positive")
+        if self.beacon_timeout_multiplier < 2:
+            raise ValueError("beacon timeout multiplier must be >= 2")
+
+    @property
+    def link_dead_timeout_ns(self) -> int:
+        return self.beacon_interval_ns * self.beacon_timeout_multiplier

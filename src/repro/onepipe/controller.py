@@ -1,0 +1,350 @@
+"""The highly available network controller (paper §5.2, §6.1).
+
+The controller coordinates failure handling for reliable 1Pipe.  It is
+reached over the management network — modelled as a fixed one-way delay
+(``ctrl_delay_ns``) independent of the data plane, matching the paper's
+assumption that production and management networks do not fail together.
+
+The seven steps of §5.2:
+
+1. **Detect** — switch engines report dead input links with the last
+   commit barrier their register held.
+2. **Determine** — after a short batching window (so the several link
+   reports of one switch crash coalesce), graph analysis
+   (:mod:`repro.onepipe.failure`) yields failed processes and failure
+   timestamps.
+3. **Broadcast** — every correct host agent is told ``(proc, ts)``.
+4. **Discard** / 5. **Recall** / 6. **Callback** — performed by the host
+   agents; each replies with a completion.
+7. **Resume** — once all completions arrive, engines drop the dead links
+   from the commit plane so commit barriers advance again.
+
+State transitions (failure records, undeliverable recalls) go through a
+pluggable replicator — :class:`LocalReplicator` commits immediately;
+:class:`repro.consensus.raft.RaftReplicator` commits through a Raft
+quorum, adding the consensus latency the paper's etcd-backed controller
+would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.link import Link
+from repro.net.packet import Packet, PacketKind
+from repro.net.rpc import Directory
+from repro.net.topology import Topology
+from repro.onepipe.config import OnePipeConfig
+from repro.onepipe.failure import DeadLinkReport, determine
+from repro.sim import Simulator
+
+
+class LocalReplicator:
+    """Trivial replicator: commits every proposal immediately."""
+
+    def propose(self, _entry: Any, on_commit: Callable[[], None]) -> None:
+        on_commit()
+
+
+class RecoveryRecord:
+    """One completed failure-handling episode (benchmark material)."""
+
+    __slots__ = (
+        "first_report_time",
+        "determine_time",
+        "resume_time",
+        "failed_procs",
+        "dead_links",
+    )
+
+    def __init__(self, first_report_time: int) -> None:
+        self.first_report_time = first_report_time
+        self.determine_time: Optional[int] = None
+        self.resume_time: Optional[int] = None
+        self.failed_procs: List[Tuple[int, int]] = []
+        self.dead_links: List[str] = []
+
+    @property
+    def duration_ns(self) -> int:
+        if self.resume_time is None:
+            raise ValueError("recovery episode not finished")
+        return self.resume_time - self.first_report_time
+
+
+class Controller:
+    """Replicated SDN controller coordinating 1Pipe failure handling."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        config: OnePipeConfig,
+        directory: Directory,
+        replicator: Optional[Any] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.config = config
+        self.directory = directory
+        self.replicator = replicator if replicator is not None else LocalReplicator()
+        # Wired by the cluster after construction.
+        self.agents: Dict[str, Any] = {}     # host_id -> HostAgent
+        self.engines: Dict[str, Any] = {}    # switch_id -> ordering engine
+        self.proc_endpoints: Dict[int, Any] = {}  # proc -> OnePipeEndpoint
+
+        self._roots = [
+            node_id for node_id in topology.switches if node_id.startswith("core")
+        ]
+        if not self._roots:
+            # Single-rack test topologies: attach at the spine/ToR tops.
+            self._roots = [
+                node_id
+                for node_id in topology.switches
+                if node_id.endswith(".up")
+            ]
+        self._reports: List[DeadLinkReport] = []
+        self._report_engines: Dict[Link, Any] = {}
+        self._all_dead_links: Set[Link] = set()
+        self._episode: Optional[RecoveryRecord] = None
+        self._batch_timer = None
+        self.failed_procs: Dict[int, int] = {}  # proc -> failure ts
+        self.failed_hosts: Set[str] = set()
+        self.undeliverable_recalls: Dict[int, List[Tuple[int, int]]] = {}
+        self.recoveries: List[RecoveryRecord] = []
+        self.forwarded_messages = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register_agent(self, agent) -> None:
+        self.agents[agent.host.node_id] = agent
+
+    def register_engine(self, switch_id: str, engine) -> None:
+        self.engines[switch_id] = engine
+
+    def register_endpoint(self, endpoint) -> None:
+        self.proc_endpoints[endpoint.proc_id] = endpoint
+
+    def make_failure_listener(self):
+        """The callback installed on every ordering engine."""
+
+        def listener(switch_id: str, link: Link, last_commit: int) -> None:
+            # Detect-step report travels over the management network.
+            self.sim.schedule(
+                self.config.ctrl_delay_ns,
+                self._receive_report,
+                DeadLinkReport(switch_id, link, last_commit),
+            )
+
+        return listener
+
+    # ------------------------------------------------------------------
+    # Detect / Determine
+    # ------------------------------------------------------------------
+    def _receive_report(self, report: DeadLinkReport) -> None:
+        if self._episode is None:
+            self._episode = RecoveryRecord(self.sim.now)
+        self._reports.append(report)
+        self._report_engines[report.link] = self.engines.get(report.reporter)
+        self._episode.dead_links.append(report.link.name)
+        if self._batch_timer is None:
+            # Batch briefly so the many reports of one switch crash (one
+            # per neighbor) are handled as a single episode.
+            window = 2 * self.config.beacon_interval_ns
+            self._batch_timer = self.sim.schedule(window, self._determine)
+
+    def _determine(self) -> None:
+        self._batch_timer = None
+        episode = self._episode
+        episode.determine_time = self.sim.now
+        host_ids = [host.node_id for host in self.topology.hosts]
+        failed_hosts, host_ts = determine(
+            self.topology.graph, self._reports, self._roots, host_ids
+        )
+        new_failures: List[Tuple[int, int]] = []
+        for host_id in failed_hosts:
+            if host_id in self.failed_hosts:
+                continue
+            self.failed_hosts.add(host_id)
+            agent = self.agents.get(host_id)
+            if agent is None:
+                continue
+            for proc_id in agent.endpoints:
+                failure_ts = host_ts[host_id]
+                self.failed_procs[proc_id] = failure_ts
+                new_failures.append((proc_id, failure_ts))
+        episode.failed_procs = list(new_failures)
+
+        def _committed() -> None:
+            if new_failures:
+                self._broadcast(new_failures)
+            else:
+                # No process failed (core link/switch): straight to Resume.
+                self._resume()
+
+        self.replicator.propose(("failures", tuple(new_failures)), _committed)
+
+    # ------------------------------------------------------------------
+    # Broadcast / completions / Resume
+    # ------------------------------------------------------------------
+    def _broadcast(self, failures: List[Tuple[int, int]]) -> None:
+        correct_agents = [
+            agent
+            for host_id, agent in self.agents.items()
+            if host_id not in self.failed_hosts and not agent.host.failed
+        ]
+        remaining = [len(correct_agents)]
+        if not correct_agents:
+            self._resume()
+            return
+
+        def _one_done(_future) -> None:
+            # Completion message back over the management network.
+            self.sim.schedule(self.config.ctrl_delay_ns, _count)
+
+        def _count() -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._resume()
+
+        # The controller contacts processes one after another (its CPU
+        # serializes), which is why the paper's recovery delay grows
+        # with system scale (§7.2: 3..15 us per host).
+        per_host_cost = 2_000
+        for index, agent in enumerate(correct_agents):
+            self.sim.schedule(
+                self.config.ctrl_delay_ns + index * per_host_cost,
+                lambda a=agent: a.on_proc_failures(failures).add_callback(
+                    _one_done
+                ),
+            )
+
+    def _resume(self) -> None:
+        episode = self._episode
+        for report in self._reports:
+            engine = self._report_engines.get(report.link)
+            if engine is not None:
+                self.sim.schedule(
+                    self.config.ctrl_delay_ns,
+                    engine.remove_commit_link,
+                    report.link,
+                )
+        # Reconfigure routing tables around the dead links (the SDN
+        # controller's job, §3.1), so retransmissions take live paths.
+        self._all_dead_links.update(report.link for report in self._reports)
+        self.sim.schedule(self.config.ctrl_delay_ns, self._reroute)
+        episode.resume_time = self.sim.now + self.config.ctrl_delay_ns
+        self.recoveries.append(episode)
+        self._episode = None
+        self._reports = []
+        self._report_engines = {}
+
+    def _reroute(self) -> None:
+        from repro.net.routing import clear_routes, compute_routes
+
+        clear_routes(self.topology.graph)
+        alive_hosts = [
+            host
+            for host in self.topology.hosts
+            if host.node_id not in self.failed_hosts
+        ]
+        compute_routes(
+            self.topology.graph, alive_hosts, exclude_links=self._all_dead_links
+        )
+
+    # ------------------------------------------------------------------
+    # Controller forwarding (§5.2)
+    # ------------------------------------------------------------------
+    def forward_message(self, sender, msg) -> None:
+        """Sender exhausted retransmissions: deliver via the controller."""
+        self.sim.schedule(self.config.ctrl_delay_ns, self._forward, sender, msg)
+
+    def _forward(self, sender, msg) -> None:
+        self.forwarded_messages += 1
+        target = self.proc_endpoints.get(msg.dst)
+        target_failed = (
+            msg.dst in self.failed_procs
+            or target is None
+            or target.agent.host.failed
+        )
+        if target_failed:
+            # The receiver is gone: the normal failure procedure (possibly
+            # already in flight) recalls the scattering; nothing to do.
+            return
+        packet = Packet(
+            PacketKind.RDATA if msg.reliable else PacketKind.DATA,
+            src=sender.proc_id,
+            dst=msg.dst,
+            src_host=sender.agent.host.node_id,
+            dst_host=msg.dst_host,
+            msg_ts=msg.ts if msg.ts is not None else 0,
+            psn=0,
+            msg_id=msg.msg_id,
+            last_frag=True,
+            payload_bytes=msg.size,
+            payload=msg.payload,
+            meta={"n_frags": 1},
+        )
+        target.receiver.on_data_packet(packet)
+        # ACK back to the sender via the controller.
+        self.sim.schedule(
+            self.config.ctrl_delay_ns, sender.on_ack, msg.msg_id, False
+        )
+
+    def forward_recall(self, endpoint, msg) -> None:
+        """Recall could not reach its receiver directly."""
+        self.sim.schedule(
+            self.config.ctrl_delay_ns, self._forward_recall, endpoint, msg
+        )
+
+    def _forward_recall(self, endpoint, msg) -> None:
+        target = self.proc_endpoints.get(msg.dst)
+        if (
+            msg.dst in self.failed_procs
+            or target is None
+            or target.agent.host.failed
+        ):
+            # Record for the receiver's eventual recovery (§5.2 Receiver
+            # Recovery), then confirm the recall so the sender unblocks.
+            def _committed() -> None:
+                self.undeliverable_recalls.setdefault(msg.dst, []).append(
+                    (endpoint.proc_id, msg.msg_id)
+                )
+                self.sim.schedule(
+                    self.config.ctrl_delay_ns,
+                    endpoint.confirm_recall,
+                    msg.msg_id,
+                )
+
+            self.replicator.propose(
+                ("recall", msg.dst, endpoint.proc_id, msg.msg_id), _committed
+            )
+            return
+        target.receiver.discard_message(endpoint.proc_id, msg.msg_id)
+        self.sim.schedule(
+            self.config.ctrl_delay_ns, endpoint.confirm_recall, msg.msg_id
+        )
+
+    # ------------------------------------------------------------------
+    # Receiver recovery (§5.2)
+    # ------------------------------------------------------------------
+    def reinstate_host(self, host_id: str) -> None:
+        """Re-admit a recovered host: restore its routes so processes
+        re-joining on it (with fresh ids) are reachable again.  Its old
+        process ids stay failed forever, per the paper."""
+        self.failed_hosts.discard(host_id)
+        host = self.topology.host_by_id(host_id)
+        stale = {
+            link
+            for link in self._all_dead_links
+            if link.src is host or link.dst is host
+        }
+        self._all_dead_links -= stale
+        self.sim.schedule(self.config.ctrl_delay_ns, self._reroute)
+
+    def recovery_info(self, proc_id: int) -> Tuple[List[Tuple[int, int]], List]:
+        """Failure notifications and undeliverable recalls a recovering
+        process must apply before delivering its buffered messages."""
+        failures = sorted(self.failed_procs.items())
+        recalls = list(self.undeliverable_recalls.get(proc_id, []))
+        return failures, recalls

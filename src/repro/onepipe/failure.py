@@ -1,0 +1,143 @@
+"""Failure-determination graph algorithms (paper §5.2).
+
+Pure functions over the routing graph, unit-testable without a running
+simulation:
+
+- **Which processes failed?**  *"A process that disconnects from the
+  controller in a routing graph is regarded as failed."*  The controller
+  is attached at the core layer; because the logical routing graph is
+  directed (up/down split), a host is alive only if it can still *send*
+  to some root and *receive* from some root after dead links are
+  removed.  Everything else is failed, and so are its processes.
+- **When did they fail?**  The failure timestamp is the maximum
+  last-commit barrier reported across the *cut* separating the failed
+  region from the correct one: every message the failed process
+  committed strictly below it has been prepared at all its receivers,
+  and nothing at or beyond it has been delivered anywhere.
+
+If no separating cut exists (true network partition), the region simply
+contains more nodes and the maximum is taken over whatever reports
+exist — the greedy "separate as many receivers as possible" fallback of
+the paper; non-separable receivers sacrifice atomicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+import networkx as nx
+
+from repro.net.link import Link
+
+
+@dataclass(frozen=True)
+class DeadLinkReport:
+    """A neighbor's Detect-step report: the dead link and the last commit
+    barrier its register held."""
+
+    reporter: str  # switch that detected the timeout
+    link: Link
+    last_commit: int
+
+
+def alive_digraph(graph: nx.DiGraph, dead_links: Set[Link]) -> nx.DiGraph:
+    """The routing graph with dead links removed (directed)."""
+    alive = nx.DiGraph()
+    alive.add_nodes_from(graph.nodes)
+    for u, v, data in graph.edges(data=True):
+        if data.get("link") not in dead_links:
+            alive.add_edge(u, v)
+    return alive
+
+
+def can_send_to_roots(alive: nx.DiGraph, roots: Iterable[str]) -> Set[str]:
+    """Nodes with a directed path *to* at least one root."""
+    senders: Set[str] = set()
+    for root in roots:
+        if root not in alive:
+            continue
+        senders.add(root)
+        senders.update(nx.ancestors(alive, root))
+    return senders
+
+
+def can_receive_from_roots(alive: nx.DiGraph, roots: Iterable[str]) -> Set[str]:
+    """Nodes with a directed path *from* at least one root."""
+    receivers: Set[str] = set()
+    for root in roots:
+        if root not in alive:
+            continue
+        receivers.add(root)
+        receivers.update(nx.descendants(alive, root))
+    return receivers
+
+
+def alive_nodes(
+    graph: nx.DiGraph, dead_links: Set[Link], roots: Iterable[str]
+) -> Set[str]:
+    """Nodes that can both send to and receive from the root layer."""
+    alive = alive_digraph(graph, dead_links)
+    return can_send_to_roots(alive, roots) & can_receive_from_roots(alive, roots)
+
+
+def disconnected_hosts(
+    graph: nx.DiGraph,
+    dead_links: Set[Link],
+    roots: Iterable[str],
+    host_ids: Iterable[str],
+) -> Set[str]:
+    """Hosts separated from the controller's roots (§5.2 Determine)."""
+    alive = alive_nodes(graph, dead_links, roots)
+    return {host_id for host_id in host_ids if host_id not in alive}
+
+
+def failure_timestamp(region: Set[str], reports: List[DeadLinkReport]) -> int:
+    """Failure timestamp for a failed region: the maximum last-commit
+    barrier over reports whose dead link originates inside the region
+    (those reports form the separating cut — each reporter is a correct
+    neighbor of the failed component)."""
+    best = 0
+    for report in reports:
+        if report.link.src.node_id in region:
+            if report.last_commit > best:
+                best = report.last_commit
+    return best
+
+
+def determine(
+    graph: nx.DiGraph,
+    reports: List[DeadLinkReport],
+    roots: Iterable[str],
+    host_ids: Iterable[str],
+) -> Tuple[Set[str], Dict[str, int]]:
+    """The Determine step: failed hosts and per-host failure timestamps.
+
+    Returns ``(failed_hosts, {host_id: failure_ts})``.  Hosts in the
+    same failed region share the region's timestamp (e.g. every host
+    behind a crashed single-homed ToR).
+    """
+    dead_links = {report.link for report in reports}
+    alive = alive_digraph(graph, dead_links)
+    send_ok = can_send_to_roots(alive, roots)
+    recv_ok = can_receive_from_roots(alive, roots)
+    ok = send_ok & recv_ok
+    failed_hosts = {h for h in host_ids if h not in ok}
+    if not failed_hosts:
+        return set(), {}
+    # Group failed nodes into weakly connected regions so each region's
+    # timestamp is the max last-commit across its own cut.  The region
+    # that matters for the cut is the send-side one: the dead links the
+    # correct neighbors reported originate there.
+    failed_nodes = {node for node in graph.nodes if node not in send_ok}
+    failed_nodes.update(h for h in failed_hosts)
+    sub = alive.subgraph(failed_nodes).to_undirected(as_view=False)
+    timestamps: Dict[str, int] = {}
+    for component in nx.connected_components(sub):
+        ts = failure_timestamp(set(component), reports)
+        for node in component:
+            if node in failed_hosts:
+                timestamps[node] = ts
+    for host_id in failed_hosts:
+        timestamps.setdefault(host_id, 0)
+    return failed_hosts, timestamps

@@ -1,0 +1,271 @@
+"""The per-host 1Pipe agent.
+
+One agent runs on every host (the lib1pipe polling thread of §6.1).  It
+owns everything that is per-host rather than per-process:
+
+- **Egress stamping**: at the moment a packet enters the FIFO NIC queue
+  it receives its message timestamp (for the first fragment of a
+  scattering), the best-effort barrier promise (the host clock — future
+  packets will carry timestamps at or above it), and the commit barrier
+  (minimum over the colocated processes' commit promises).  Stamping at
+  the FIFO boundary is what makes the host→ToR link's barriers valid.
+- **Host beacons**: on an idle uplink (chip mode) or unconditionally
+  (switch-CPU / host-delegation modes) a beacon carries the same two
+  barriers every beacon interval, at instants synchronized across hosts
+  (§4.2).
+- **Ingress barrier state**: the maximum best-effort and commit barriers
+  seen from the downlink; in chip mode every packet carries valid
+  aggregated barriers, in the other modes only beacons do (§6.2).
+- **Delivery flush**: whenever barriers advance, colocated process
+  receivers deliver what the barriers allow (coalesced per event).
+- **Failure handling, host side**: the Discard / Recall / Callback steps
+  of §5.2, driven by controller broadcasts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.net.link import Link
+from repro.net.nic import Host
+from repro.net.packet import Packet, PacketKind
+from repro.net.rpc import Directory
+from repro.onepipe.config import MODE_CHIP, OnePipeConfig
+from repro.sim import Future
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.onepipe.api import OnePipeEndpoint
+    from repro.onepipe.controller import Controller
+
+_ONEPIPE_KINDS = frozenset(
+    {
+        PacketKind.DATA,
+        PacketKind.RDATA,
+        PacketKind.ACK,
+        PacketKind.NAK,
+        PacketKind.RECALL,
+        PacketKind.RECALL_ACK,
+    }
+)
+
+
+class HostAgent:
+    """Shared 1Pipe machinery for all processes on one host."""
+
+    def __init__(
+        self,
+        host: Host,
+        config: OnePipeConfig,
+        directory: Directory,
+        controller: Optional["Controller"] = None,
+    ) -> None:
+        self.sim = host.sim
+        self.host = host
+        self.clock = host.clock
+        self.config = config
+        self.directory = directory
+        self.controller = controller
+        self.endpoints: Dict[int, "OnePipeEndpoint"] = {}
+        self.rx_be_barrier = 0
+        self.rx_commit_barrier = 0
+        self._barriers_on_packets = config.mode == MODE_CHIP
+        self._flush_scheduled = False
+        # Receiver-side loss injection (the paper's Fig. 9b/15b method:
+        # "we simulate random message drop in lib1pipe receiver" — this
+        # drops data without perturbing beacons or link liveness).
+        self.receiver_loss_rate = 0.0
+        self._loss_rng = None
+        self.receiver_drops = 0
+        host.egress_hook = self._stamp_egress
+        host.ingress_hook = self._ingress
+        self._beacon_task = self.sim.every(
+            config.beacon_interval_ns, self._beacon_tick
+        )
+        self.beacons_sent = 0
+
+    def close(self) -> None:
+        self._beacon_task.cancel()
+        self.host.egress_hook = None
+        self.host.ingress_hook = None
+
+    def set_receiver_loss_rate(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate out of range: {rate}")
+        self.receiver_loss_rate = rate
+        if rate > 0 and self._loss_rng is None:
+            self._loss_rng = self.sim.rng(f"rxloss.{self.host.node_id}")
+
+    # ------------------------------------------------------------------
+    # Endpoint registry
+    # ------------------------------------------------------------------
+    def add_endpoint(self, endpoint: "OnePipeEndpoint") -> None:
+        if endpoint.proc_id in self.endpoints:
+            raise ValueError(f"duplicate process {endpoint.proc_id}")
+        self.endpoints[endpoint.proc_id] = endpoint
+        self.host.register_endpoint(endpoint.proc_id, lambda pkt: None)
+        self.directory.register(endpoint.proc_id, self.host.node_id)
+
+    def remove_endpoint(self, proc_id: int) -> None:
+        self.endpoints.pop(proc_id, None)
+        self.host.unregister_endpoint(proc_id)
+
+    # ------------------------------------------------------------------
+    # Egress: timestamp + barrier stamping at the NIC FIFO boundary
+    # ------------------------------------------------------------------
+    def _stamp_egress(self, packet: Packet) -> None:
+        now = self.clock.now()
+        meta = packet.meta
+        if meta is not None:
+            scattering = meta.get("scat")
+            if scattering is not None:
+                if scattering.ts is None:
+                    scattering.ts = now
+                    endpoint = self.endpoints.get(packet.src)
+                    if endpoint is not None:
+                        endpoint.sender.on_ts_assigned(scattering, now)
+                packet.msg_ts = scattering.ts
+        packet.barrier_ts = self.local_be_barrier(now)
+        packet.commit_ts = self.local_commit_barrier(now)
+
+    def local_be_barrier(self, now: int) -> int:
+        """Best-effort barrier promise: the clock, floored at fragments
+        still queued in any colocated sender's CPU."""
+        barrier = now
+        for endpoint in self.endpoints.values():
+            floor = endpoint.sender.be_barrier_floor(now)
+            if floor < barrier:
+                barrier = floor
+        return barrier
+
+    def local_commit_barrier(self, now: int) -> int:
+        """Minimum commit promise over the processes on this host."""
+        barrier = now
+        for endpoint in self.endpoints.values():
+            value = endpoint.sender.commit_barrier_value(now)
+            if value < barrier:
+                barrier = value
+        return barrier
+
+    # ------------------------------------------------------------------
+    # Ingress: barrier extraction + endpoint dispatch
+    # ------------------------------------------------------------------
+    def _ingress(self, packet: Packet, _in_link: Link) -> bool:
+        kind = packet.kind
+        if kind == PacketKind.BEACON:
+            if (
+                self._loss_rng is not None
+                and self._loss_rng.random() < self.receiver_loss_rate
+            ):
+                # A lost beacon stalls this receiver's barrier until the
+                # next one (the paper's Fig. 9b mechanism).
+                self.receiver_drops += 1
+                return True
+            self._update_barriers(packet.barrier_ts, packet.commit_ts)
+            return True
+        if kind in _ONEPIPE_KINDS:
+            if (
+                self._loss_rng is not None
+                and kind in (PacketKind.DATA, PacketKind.RDATA)
+                and self._loss_rng.random() < self.receiver_loss_rate
+            ):
+                self.receiver_drops += 1
+                if self._barriers_on_packets:
+                    self._update_barriers(packet.barrier_ts, packet.commit_ts)
+                return True
+            endpoint = self.endpoints.get(packet.dst)
+            if endpoint is not None:
+                # Dispatch before applying this packet's own barrier: the
+                # barrier promise covers *future* arrivals, not itself.
+                endpoint.handle(packet)
+            if self._barriers_on_packets:
+                self._update_barriers(packet.barrier_ts, packet.commit_ts)
+            return True
+        if self._barriers_on_packets:
+            self._update_barriers(packet.barrier_ts, packet.commit_ts)
+        return False  # RAW and RDMA traffic continues to normal delivery
+
+    def _update_barriers(self, be_barrier: int, commit_barrier: int) -> None:
+        changed = False
+        if be_barrier > self.rx_be_barrier:
+            self.rx_be_barrier = be_barrier
+            changed = True
+        if commit_barrier > self.rx_commit_barrier:
+            self.rx_commit_barrier = commit_barrier
+            changed = True
+        if changed and not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.sim.call_soon(self._flush)
+
+    # Artificial extra delivery delay (reorder-overhead study, Fig. 11):
+    # barriers handed to receivers are held back by this much.
+    artificial_barrier_lag_ns = 0
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        lag = self.artificial_barrier_lag_ns
+        if lag:
+            self.sim.schedule(lag, self._flush_lagged,
+                              self.rx_be_barrier, self.rx_commit_barrier)
+            return
+        for endpoint in self.endpoints.values():
+            endpoint.receiver.flush(self.rx_be_barrier, self.rx_commit_barrier)
+
+    def _flush_lagged(self, be_barrier: int, commit_barrier: int) -> None:
+        for endpoint in self.endpoints.values():
+            endpoint.receiver.flush(be_barrier, commit_barrier)
+
+    # ------------------------------------------------------------------
+    # Beacons (§4.2)
+    # ------------------------------------------------------------------
+    def _beacon_tick(self) -> None:
+        # lib1pipe's polling thread "generates periodic beacon packets"
+        # unconditionally (§6.1): the host's clock promise must reach the
+        # ToR within one interval of any message so delivery waits only
+        # ~interval/2 — suppressing the beacon because data left recently
+        # would delay the *strictly greater* barrier the last message
+        # needs.  (Switch engines do suppress beacons on busy links.)
+        if self.host.failed or self.host.uplink is None:
+            return
+        beacon = Packet(PacketKind.BEACON, src=-1, dst=-1, dst_host="")
+        self.beacons_sent += 1
+        self.host.send_packet(beacon)  # egress hook stamps the barriers
+
+    # ------------------------------------------------------------------
+    # Failure handling, host side (§5.2)
+    # ------------------------------------------------------------------
+    def on_proc_failures(self, failures: List[tuple]) -> Future:
+        """Controller broadcast handler: ``failures`` is a list of
+        ``(failed_proc, failure_ts)``.
+
+        Performs Discard and Recall for every local process, then runs
+        the registered process-failure callbacks, and resolves the
+        returned future (the controller's completion signal).
+        """
+        done = Future(self.sim)
+        recall_futures: List[Future] = []
+        for failed_proc, failure_ts in failures:
+            for endpoint in self.endpoints.values():
+                endpoint.receiver.discard_from(failed_proc, failure_ts)
+                to_recall = endpoint.sender.handle_peer_failure(failed_proc)
+                for msg in to_recall:
+                    recall_futures.append(endpoint.start_recall(msg))
+
+        def _finish(_value=None) -> None:
+            # Discard scans and application callbacks cost CPU per failed
+            # process (this is why a ToR failure — 8 processes at once —
+            # recovers slower than a single host failure, Fig. 10).
+            work_ns = 5_000 * len(failures)
+            self.sim.schedule(work_ns, _run_callbacks)
+
+        def _run_callbacks() -> None:
+            for endpoint in self.endpoints.values():
+                endpoint.run_proc_fail_callbacks(failures)
+            done.try_resolve(True)
+
+        if recall_futures:
+            from repro.sim import all_of
+
+            all_of(recall_futures).add_callback(_finish)
+        else:
+            _finish()
+        return done

@@ -1,0 +1,345 @@
+"""The three in-network incarnations of 1Pipe (paper §6.2).
+
+All three maintain two barrier register files per logical switch — one
+for the best-effort barrier, one for the commit barrier — and differ in
+*where* aggregation happens:
+
+- :class:`ProgrammableChipEngine` (§6.2.1, Tofino/P4): every packet
+  updates its input link's registers and is re-stamped with the minimum
+  before forwarding; beacons are generated only on idle output links.
+- :class:`SwitchCpuEngine` (§6.2.2): the switching chip forwards data
+  packets untouched; only beacons carry barriers, processed by the
+  switch CPU with a per-beacon delay, and new beacons are broadcast on
+  every output link each interval (busy or not).
+- :class:`HostDelegationEngine` (§6.2.3): identical control flow to the
+  switch CPU, with the per-hop delay enlarged by the switch↔representative
+  RTT (this is the configuration the paper's testbed evaluation uses).
+
+Engines also own link liveness (§4.2): an input link with no traffic for
+``beacon_timeout_multiplier`` intervals is declared dead — removed from
+the best-effort plane immediately (decentralized) and reported to the
+controller for the commit plane, which removes it at the Resume step of
+failure handling (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.net.link import Link
+from repro.net.packet import Packet, PacketKind
+from repro.net.switch import Switch
+from repro.onepipe.barrier import BarrierRegisterFile
+from repro.onepipe.config import (
+    MODE_CHIP,
+    MODE_HOST_DELEGATE,
+    MODE_SWITCH_CPU,
+    OnePipeConfig,
+)
+from repro.sim import Simulator
+
+# failure_listener(switch_id, dead_link, last_commit_barrier)
+FailureListener = Callable[[str, Link, int], None]
+
+
+class _OrderingEngineBase:
+    """Register files, beacons, and liveness shared by all incarnations."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: OnePipeConfig,
+        failure_listener: Optional[FailureListener] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.failure_listener = failure_listener
+        self.switch: Optional[Switch] = None
+        self.be = BarrierRegisterFile()
+        self.commit = BarrierRegisterFile()
+        self._last_rx: Dict[Link, int] = {}
+        self._dead: set = set()
+        self._task = None
+        self.beacons_sent = 0
+        self.links_declared_dead = 0
+        # Cascade state: barrier waves propagate with a short settle
+        # window per hop instead of waiting a full beacon tick — with
+        # synchronized host beacons this is what makes delivery latency
+        # ~interval/2 + skew (nearly) independent of hop count (§4.2,
+        # §7.2).  The settle window coalesces the almost-simultaneous
+        # beacons of one wave so the relayed beacon carries the wave's
+        # full aggregated minimum.
+        self._emitted_be = 0
+        self._emitted_commit = 0
+        self._cascade_pending = False
+
+    # ------------------------------------------------------------------
+    def attach(self, switch: Switch) -> None:
+        self.switch = switch
+        for link in switch.in_links:
+            self.be.add_link(link)
+            self.commit.add_link(link)
+            self._last_rx[link] = self.sim.now
+        # Tick half an interval out of phase with the synchronized host
+        # beacons: beacon waves (which arrive just after each host tick)
+        # are relayed by the cascade, and the periodic tick only emits
+        # keep-alives on links no wave has refreshed for a full interval.
+        self._task = self.sim.every(
+            self.config.beacon_interval_ns,
+            self._tick,
+            phase=self.config.beacon_interval_ns // 2,
+        )
+
+    def detach(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    # ------------------------------------------------------------------
+    # Liveness (§4.2) and failure-handling hooks (§5.2)
+    # ------------------------------------------------------------------
+    def _note_arrival(self, in_link: Link) -> None:
+        self._last_rx[in_link] = self.sim.now
+        if in_link in self._dead:
+            self.rejoin_link(in_link)
+
+    def _scan_liveness(self) -> None:
+        timeout = self.config.link_dead_timeout_ns
+        now = self.sim.now
+        for link, last in self._last_rx.items():
+            if link in self._dead or now - last <= timeout:
+                continue
+            self._dead.add(link)
+            self.links_declared_dead += 1
+            # Best-effort plane: decentralized removal (§4.2).
+            if self.be.has_link(link):
+                self.be.remove_link(link)
+            if self.failure_listener is not None:
+                # Commit plane waits for the controller's Resume (§5.2).
+                last_commit = self.commit.register_value(link)
+                self.failure_listener(self.switch.node_id, link, last_commit)
+            elif self.commit.has_link(link):
+                self.commit.remove_link(link)
+
+    def remove_commit_link(self, link: Link) -> None:
+        """Resume step: the controller authorizes dropping the dead link
+        from the commit plane so commit barriers advance again.
+
+        If the link came back to life (and rejoined in pending state)
+        between the report and the Resume, it is left alone — a pending
+        link cannot stall the commit barrier anyway.
+        """
+        if link in self._dead and self.commit.has_link(link):
+            self.commit.remove_link(link)
+
+    def rejoin_link(self, link: Link) -> None:
+        """A previously dead link carries traffic again: re-admit it in
+        pending state so emitted barriers stay monotone (§4.2)."""
+        self._dead.discard(link)
+        self._last_rx[link] = self.sim.now
+        if not self.be.has_link(link):
+            self.be.join_link(link)
+        if not self.commit.has_link(link):
+            self.commit.join_link(link)
+
+    # ------------------------------------------------------------------
+    def _emit_beacon(self, out_link: Link) -> None:
+        beacon = Packet(
+            PacketKind.BEACON,
+            barrier_ts=self.be.minimum(),
+            commit_ts=self.commit.minimum(),
+        )
+        self.beacons_sent += 1
+        # The beacon must not bypass data packets still in the ingress
+        # pipeline: a data packet received just before this beacon is
+        # generated carries (and *is*) an older timestamp, and would be
+        # overtaken on the egress link — breaking the barrier promise.
+        # Charge beacons the same pipeline delay as forwarded packets.
+        self.sim.schedule(
+            self.switch.forwarding_delay_ns,
+            self.switch.send_on,
+            out_link,
+            beacon,
+        )
+
+    def _link_needs_beacon(self, link: Link, now: int) -> bool:
+        """Whether this output link needs an explicit barrier beacon."""
+        raise NotImplementedError
+
+    def _maybe_cascade(self) -> None:
+        """Schedule a wave relay when the aggregated minimum rises.
+
+        The relay fires after ``cascade_settle_ns`` so it coalesces the
+        almost-simultaneous per-wave beacons of every input link (§4.2)
+        into one downstream beacon carrying the full wave minimum.
+        """
+        if self._cascade_pending:
+            return
+        if (
+            self.be.minimum() <= self._emitted_be
+            and self.commit.minimum() <= self._emitted_commit
+        ):
+            return
+        self._cascade_pending = True
+        self.sim.schedule(self.config.cascade_settle_ns, self._cascade_fire)
+
+    def _cascade_fire(self) -> None:
+        self._cascade_pending = False
+        if self.switch is None or self.switch.failed:
+            return
+        self._emitted_be = self.be.minimum()
+        self._emitted_commit = self.commit.minimum()
+        now = self.sim.now
+        for link in self.switch.out_links:
+            if self._link_needs_beacon(link, now):
+                self._emit_beacon(link)
+
+    def _tick(self) -> None:
+        raise NotImplementedError
+
+    def on_packet(self, packet: Packet, in_link: Link) -> bool:
+        raise NotImplementedError
+
+
+class ProgrammableChipEngine(_OrderingEngineBase):
+    """Per-packet aggregation in the forwarding pipeline (§6.2.1)."""
+
+    def on_packet(self, packet: Packet, in_link: Link) -> bool:
+        if self.switch.failed:
+            return False
+        self._note_arrival(in_link)
+        # Equation (4.1): update the input link register, then stamp the
+        # packet with the minimum across all input links.
+        self.be.update(in_link, packet.barrier_ts)
+        self.commit.update(in_link, packet.commit_ts)
+        if packet.kind == PacketKind.BEACON:
+            # Beacons are strictly hop-by-hop; relay the wave downstream
+            # immediately on idle links.
+            self._maybe_cascade()
+            return False
+        packet.barrier_ts = self.be.minimum()
+        packet.commit_ts = self.commit.minimum()
+        self._maybe_cascade()
+        return True
+
+    def _link_needs_beacon(self, link: Link, now: int) -> bool:
+        # Chip mode: any forwarded *data* packet refreshes barriers, so
+        # beacons are only needed on links without recent data traffic.
+        return now - link.last_data_tx >= self.config.beacon_interval_ns // 2
+
+    def _tick(self) -> None:
+        # Keep-alive: links silent for a full interval (no data, no
+        # cascade beacons — e.g. the barrier is stalled by a dead input)
+        # still get a beacon so downstream liveness timers stay calm.
+        if self.switch is None or self.switch.failed:
+            return
+        self._scan_liveness()
+        now = self.sim.now
+        interval = self.config.beacon_interval_ns
+        for link in self.switch.out_links:
+            if link.idle_since(now) >= interval:
+                self._emit_beacon(link)
+
+
+class SwitchCpuEngine(_OrderingEngineBase):
+    """Beacon-only aggregation on the switch CPU (§6.2.2).
+
+    Data packets traverse the chip untouched; received beacons update the
+    registers after ``processing_delay_ns`` (OS stack + CPU), and the CPU
+    broadcasts fresh beacons on every output link each interval.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: OnePipeConfig,
+        failure_listener: Optional[FailureListener] = None,
+        processing_delay_ns: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, config, failure_listener)
+        self.processing_delay_ns = (
+            processing_delay_ns
+            if processing_delay_ns is not None
+            else config.switch_cpu_delay_ns
+        )
+
+    def on_packet(self, packet: Packet, in_link: Link) -> bool:
+        if self.switch.failed:
+            return False
+        self._note_arrival(in_link)
+        if packet.kind == PacketKind.BEACON:
+            self.sim.schedule(
+                self.processing_delay_ns,
+                self._cpu_update,
+                in_link,
+                packet.barrier_ts,
+                packet.commit_ts,
+            )
+            return False
+        return True  # data forwarded by the chip, barriers untouched
+
+    def _cpu_update(self, in_link: Link, be_barrier: int, commit_ts: int) -> None:
+        if self.be.has_link(in_link):
+            self.be.update(in_link, be_barrier)
+        if self.commit.has_link(in_link):
+            self.commit.update(in_link, commit_ts)
+        # Relay the wave onward (the per-hop CPU delay was already paid).
+        self._maybe_cascade()
+
+    def _link_needs_beacon(self, link: Link, now: int) -> bool:
+        # CPU mode: data packets do not carry barriers, so every output
+        # link gets wave beacons whether busy or not (§6.2.2).
+        return True
+
+    def _tick(self) -> None:
+        # Keep-alive when the wave is stalled (no cascade for a full
+        # interval): re-emit the stale minimum so downstream liveness
+        # timers stay calm while the barrier value itself cannot advance.
+        if self.switch is None or self.switch.failed:
+            return
+        self._scan_liveness()
+        now = self.sim.now
+        interval = self.config.beacon_interval_ns
+        for link in self.switch.out_links:
+            if link.idle_since(now) >= interval:
+                self._emit_beacon(link)
+
+
+class HostDelegationEngine(SwitchCpuEngine):
+    """Beacon processing delegated to a representative host (§6.2.3).
+
+    Control flow is the switch-CPU design; the per-hop delay additionally
+    covers the switch↔host round trip (beacons detour through the
+    representative) plus host processing.  The representative host itself
+    is implicit — its latency contribution is folded into
+    ``processing_delay_ns``, which is exactly how the paper models the
+    expected delay of this incarnation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: OnePipeConfig,
+        failure_listener: Optional[FailureListener] = None,
+    ) -> None:
+        super().__init__(
+            sim,
+            config,
+            failure_listener,
+            processing_delay_ns=config.host_delegate_delay_ns,
+        )
+
+
+def make_engine(
+    sim: Simulator,
+    config: OnePipeConfig,
+    failure_listener: Optional[FailureListener] = None,
+):
+    """Engine factory for the configured incarnation."""
+    if config.mode == MODE_CHIP:
+        return ProgrammableChipEngine(sim, config, failure_listener)
+    if config.mode == MODE_SWITCH_CPU:
+        return SwitchCpuEngine(sim, config, failure_listener)
+    if config.mode == MODE_HOST_DELEGATE:
+        return HostDelegationEngine(sim, config, failure_listener)
+    raise ValueError(f"unknown mode {config.mode!r}")

@@ -1,0 +1,262 @@
+"""lib1pipe receiver: reorder buffer and barrier-gated delivery.
+
+Receive path (paper §4.1, §5.1):
+
+1. Arriving fragments are assembled into messages keyed by
+   ``(src, msg_id)``.
+2. Assembled messages enter a priority queue ordered by the total-order
+   key ``(timestamp, sender, msg_id)``, and an end-to-end ACK is
+   returned (both services ACK: best effort uses it for loss
+   *detection*, reliable for loss *recovery*).
+3. Delivery is gated by barriers: a best-effort message is delivered
+   when the best-effort barrier passes its timestamp; a reliable message
+   when the commit barrier does.  With ``strict_merge`` both services
+   share one queue, so a best-effort message never overtakes an
+   uncommitted reliable message with a smaller timestamp — giving one
+   consistent total order across services (what the paper's KVS relies
+   on when mixing read-only/best-effort with write/reliable traffic).
+4. A message whose timestamp is below the barrier already used for
+   delivery arrived too late: it is dropped and a NAK returned (§4.1).
+   Duplicates of already-delivered messages are re-ACKed silently
+   (retransmissions whose ACK was lost).
+
+The receiver also implements the Discard step of failure handling
+(§5.2): dropping buffered messages from a failed sender beyond its
+failure timestamp, and discarding recalled scattering messages.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.packet import Packet, PacketKind
+from repro.onepipe.config import OnePipeConfig
+
+# Delivered-message callback: fn(ts, src, payload, reliable) -> None.
+DeliverCallback = Callable[[int, int, Any, bool], None]
+
+
+class _Assembling:
+    """Fragments of a not-yet-complete message."""
+
+    __slots__ = ("ts", "n_frags", "frags", "payload", "bytes", "ecn")
+
+    def __init__(self, ts: int, n_frags: int) -> None:
+        self.ts = ts
+        self.n_frags = n_frags
+        self.frags: Set[int] = set()
+        self.payload: Any = None
+        self.bytes = 0
+        self.ecn = False
+
+
+class ProcessReceiver:
+    """Receiver half of a 1Pipe process endpoint."""
+
+    def __init__(self, agent, proc_id: int, config: OnePipeConfig) -> None:
+        self.agent = agent
+        self.sim = agent.sim
+        self.proc_id = proc_id
+        self.config = config
+        self.deliver_callback: Optional[DeliverCallback] = None
+        # Reorder buffer: (ts, src, msg_id, reliable, payload, size).
+        self._heap: List[Tuple[int, int, int, bool, Any, int]] = []
+        self._tombstones: Set[Tuple[int, int]] = set()
+        # Messages currently buffered (heap), for retransmission dedup.
+        self._buffered: Set[Tuple[int, int]] = set()
+        self._assembling: Dict[Tuple[int, int], _Assembling] = {}
+        self._delivered_ids: Dict[int, Dict[int, int]] = {}
+        # Failure cutoffs: src proc -> failure timestamp (discard >= ts).
+        self._fail_cutoff: Dict[int, int] = {}
+        # Barrier floors used for late detection (values at last flush).
+        self._be_floor = 0
+        self._commit_floor = 0
+        self._cpu_free_at = 0
+        # Statistics.
+        self.delivered_count = 0
+        self.late_naks = 0
+        self.duplicates = 0
+        self.out_of_order_arrivals = 0
+        self._max_arrival_ts = 0
+        self.arrivals = 0
+        self.buffer_bytes = 0
+        self.max_buffer_bytes = 0
+        self.discarded_on_failure = 0
+        self.last_delivered_ts = -1
+
+    # ------------------------------------------------------------------
+    # Ingress
+    # ------------------------------------------------------------------
+    def on_data_packet(self, packet: Packet) -> None:
+        """Handle a DATA/RDATA fragment addressed to this process."""
+        key = (packet.src, packet.msg_id)
+        if key in self._tombstones:
+            return  # recalled or discarded; ignore stragglers
+        cutoff = self._fail_cutoff.get(packet.src)
+        if cutoff is not None and packet.msg_ts >= cutoff:
+            return  # sender failed before committing this timestamp
+        delivered = self._delivered_ids.get(packet.src)
+        if (delivered is not None and packet.msg_id in delivered) or (
+            key in self._buffered
+        ):
+            # Retransmission of something already buffered or delivered:
+            # the original ACK was lost; re-ACK, do not re-buffer.
+            self.duplicates += 1
+            self._send_ack(packet)
+            return
+
+        entry = self._assembling.get(key)
+        if entry is None:
+            n_frags = packet.meta.get("n_frags", 1) if packet.meta else 1
+            entry = _Assembling(packet.msg_ts, n_frags)
+            self._assembling[key] = entry
+        if packet.psn in entry.frags:
+            return  # duplicate fragment from a retransmission
+        entry.frags.add(packet.psn)
+        entry.bytes += packet.payload_bytes
+        entry.ecn = entry.ecn or packet.ecn
+        if packet.last_frag:
+            entry.payload = packet.payload
+        if len(entry.frags) < entry.n_frags:
+            return
+        del self._assembling[key]
+        self._on_message(packet, entry)
+
+    def _on_message(self, packet: Packet, entry: _Assembling) -> None:
+        ts = entry.ts
+        reliable = packet.kind == PacketKind.RDATA
+        self.arrivals += 1
+        if ts < self._max_arrival_ts:
+            self.out_of_order_arrivals += 1
+        else:
+            self._max_arrival_ts = ts
+        floor = self._commit_floor if reliable else self._be_floor
+        if ts < floor:
+            # Arrived after its barrier already passed: too late (§4.1).
+            self.late_naks += 1
+            self._send_nak(packet)
+            return
+        self._send_ack(packet, ecn=entry.ecn)
+        heapq.heappush(
+            self._heap,
+            (ts, packet.src, packet.msg_id, reliable, entry.payload, entry.bytes),
+        )
+        self._buffered.add((packet.src, packet.msg_id))
+        self.buffer_bytes += entry.bytes
+        if self.buffer_bytes > self.max_buffer_bytes:
+            self.max_buffer_bytes = self.buffer_bytes
+
+    # ------------------------------------------------------------------
+    # Barrier-gated delivery
+    # ------------------------------------------------------------------
+    def flush(self, be_barrier: int, commit_barrier: int) -> int:
+        """Deliver everything the barriers allow; returns count delivered."""
+        self._be_floor = max(self._be_floor, be_barrier)
+        self._commit_floor = max(self._commit_floor, commit_barrier)
+        delivered = 0
+        heap = self._heap
+        strict_merge = self.config.strict_merge
+        while heap:
+            ts, src, msg_id, reliable, payload, size = heap[0]
+            if (src, msg_id) in self._tombstones:
+                heapq.heappop(heap)
+                self._tombstones.discard((src, msg_id))
+                self._buffered.discard((src, msg_id))
+                self.buffer_bytes -= size
+                continue
+            if reliable:
+                if ts >= self._commit_floor:
+                    break
+            else:
+                if ts >= self._be_floor:
+                    break
+                if not strict_merge:
+                    pass  # independent planes: no extra gate
+            heapq.heappop(heap)
+            self._buffered.discard((src, msg_id))
+            self.buffer_bytes -= size
+            self._deliver(ts, src, msg_id, payload, reliable)
+            delivered += 1
+        return delivered
+
+    def _deliver(
+        self, ts: int, src: int, msg_id: int, payload: Any, reliable: bool
+    ) -> None:
+        self.delivered_count += 1
+        self.last_delivered_ts = ts
+        delivered = self._delivered_ids.setdefault(src, {})
+        delivered[msg_id] = ts
+        if len(delivered) > 4096:
+            self._prune_delivered(src)
+        if self.deliver_callback is None:
+            return
+        cpu = self.config.cpu_ns_per_msg
+        if cpu:
+            start = max(self.sim.now, self._cpu_free_at)
+            self._cpu_free_at = start + cpu
+            self.sim.schedule_at(
+                self._cpu_free_at, self.deliver_callback, ts, src, payload, reliable
+            )
+        else:
+            self.deliver_callback(ts, src, payload, reliable)
+
+    def _prune_delivered(self, src: int) -> None:
+        """Forget ancient delivered ids (duplicates can no longer arrive:
+        their timestamps are far below the barrier and would be NAKed)."""
+        horizon = self._be_floor - 10 * self.config.ack_timeout_ns
+        delivered = self._delivered_ids[src]
+        self._delivered_ids[src] = {
+            msg_id: ts for msg_id, ts in delivered.items() if ts >= horizon
+        }
+
+    # ------------------------------------------------------------------
+    # Failure handling (paper §5.2 Discard + Recall, receiver side)
+    # ------------------------------------------------------------------
+    def discard_from(self, failed_proc: int, failure_ts: int) -> int:
+        """Discard buffered messages from ``failed_proc`` at or beyond its
+        failure timestamp; earlier ones stay deliverable (restricted
+        atomicity).  Returns the number discarded."""
+        self._fail_cutoff[failed_proc] = failure_ts
+        discarded = 0
+        for ts, src, msg_id, _rel, _payload, _size in self._heap:
+            if src == failed_proc and ts >= failure_ts:
+                if (src, msg_id) not in self._tombstones:
+                    self._tombstones.add((src, msg_id))
+                    discarded += 1
+        for key in list(self._assembling):
+            src, _msg_id = key
+            if src == failed_proc and self._assembling[key].ts >= failure_ts:
+                del self._assembling[key]
+        self.discarded_on_failure += discarded
+        return discarded
+
+    def discard_message(self, src: int, msg_id: int) -> bool:
+        """Discard one (recalled) message; True if it was present/known."""
+        delivered = self._delivered_ids.get(src)
+        if delivered is not None and msg_id in delivered:
+            return False  # already delivered: recall arrived too late
+        self._tombstones.add((src, msg_id))
+        self._assembling.pop((src, msg_id), None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Control packets back to senders
+    # ------------------------------------------------------------------
+    def _send_ack(self, packet: Packet, ecn: bool = False) -> None:
+        self._send_control(packet, PacketKind.ACK, ("ack", packet.msg_id, ecn))
+
+    def _send_nak(self, packet: Packet) -> None:
+        self._send_control(packet, PacketKind.NAK, ("nak", packet.msg_id))
+
+    def _send_control(self, packet: Packet, kind: PacketKind, payload) -> None:
+        reply = Packet(
+            kind,
+            src=self.proc_id,
+            dst=packet.src,
+            dst_host=packet.src_host,
+            msg_id=packet.msg_id,
+            payload_bytes=self.config.ack_bytes,
+            payload=payload,
+        )
+        self.agent.host.send_packet(reply)

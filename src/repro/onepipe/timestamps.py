@@ -1,0 +1,50 @@
+"""48-bit timestamps with wraparound-safe comparison.
+
+The 1Pipe header carries 48-bit nanosecond timestamps and uses PAWS
+(RFC 1323) to handle wraparound (§6.1): two timestamps are compared
+modulo 2^48, interpreting a difference of less than half the space as
+"recent".  2^48 ns is about 3.26 days, so the simulator itself never
+wraps in practice — these helpers exist so the *protocol* logic is
+faithful and are exercised directly by tests.
+
+Delivery order is the total order on ``(timestamp, sender_id)`` —
+timestamp ties are broken by sender id (§2.1).
+"""
+
+from __future__ import annotations
+
+TS_BITS = 48
+TS_MODULUS = 1 << TS_BITS
+TS_HALF = TS_MODULUS // 2
+
+
+def wrap48(value: int) -> int:
+    """Truncate a nanosecond count to the 48-bit wire representation."""
+    return value & (TS_MODULUS - 1)
+
+
+def ts_after(a: int, b: int) -> bool:
+    """True if wire timestamp ``a`` is after ``b`` (PAWS comparison).
+
+    >>> ts_after(100, 50)
+    True
+    >>> ts_after(50, 100)
+    False
+    >>> ts_after(10, TS_MODULUS - 10)  # wrapped around
+    True
+    """
+    return ((a - b) & (TS_MODULUS - 1)) - 1 < TS_HALF - 1 and a != b
+
+
+def ts_max(a: int, b: int) -> int:
+    """Wraparound-aware maximum of two wire timestamps."""
+    return a if ts_after(a, b) else b
+
+
+def delivery_key(ts: int, sender: int, msg_id: int) -> tuple:
+    """Total order key: timestamp, then sender id, then message id.
+
+    Message id disambiguates multiple messages a sender may emit with the
+    same timestamp (e.g. a scattering's messages to the same receiver).
+    """
+    return (ts, sender, msg_id)

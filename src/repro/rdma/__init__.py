@@ -1,0 +1,20 @@
+"""One-sided RDMA substrate.
+
+lib1pipe is built on RDMA verbs (§6.1) and the remote data structure
+study (§7.3.3) drives a hash table with one-sided READ / WRITE / CAS.
+This package models those: operations execute at the target host's NIC
+against a registered memory region without involving the target CPU.
+
+- :class:`~repro.rdma.memory.MemoryRegion` — a word-addressed registered
+  region with atomic compare-and-swap.
+- :class:`~repro.rdma.ops.RdmaAgent` — per-host NIC agent serving READ /
+  WRITE / CAS requests (fixed NIC processing delay, no CPU).
+- :class:`~repro.rdma.ops.RdmaClient` — issues operations and returns
+  futures; ``fence()`` waits for outstanding completions (the ordering
+  cost 1Pipe eliminates in §7.3.3).
+"""
+
+from repro.rdma.memory import MemoryRegion
+from repro.rdma.ops import RDMA_AGENT_PROC, RdmaAgent, RdmaClient
+
+__all__ = ["MemoryRegion", "RDMA_AGENT_PROC", "RdmaAgent", "RdmaClient"]

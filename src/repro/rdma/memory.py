@@ -1,0 +1,45 @@
+"""Registered memory regions for one-sided RDMA access."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+
+class MemoryRegion:
+    """A word-addressed registered memory region.
+
+    Addresses are arbitrary hashable keys (real regions use byte
+    offsets; the apps here use structured addresses like
+    ``("bucket", 17)`` which keeps tests readable without changing any
+    latency-relevant behaviour).  Reads of unwritten addresses return
+    ``None``, like zeroed registered memory.
+    """
+
+    def __init__(self, name: str = "mr") -> None:
+        self.name = name
+        self._words: Dict[Any, Any] = {}
+        self.reads = 0
+        self.writes = 0
+        self.cas_ops = 0
+
+    def read(self, addr: Any) -> Any:
+        self.reads += 1
+        return self._words.get(addr)
+
+    def write(self, addr: Any, value: Any) -> None:
+        self.writes += 1
+        self._words[addr] = value
+
+    def compare_and_swap(
+        self, addr: Any, expected: Any, new: Any
+    ) -> Tuple[bool, Any]:
+        """Atomic CAS; returns (swapped, previous_value)."""
+        self.cas_ops += 1
+        current = self._words.get(addr)
+        if current == expected:
+            self._words[addr] = new
+            return True, current
+        return False, current
+
+    def __len__(self) -> int:
+        return len(self._words)

@@ -1,0 +1,161 @@
+"""One-sided RDMA operations over the simulated network.
+
+Requests are packets addressed to a well-known per-host agent id; the
+target host's NIC executes them against a registered memory region after
+a small fixed NIC delay — no target CPU involvement, which is why the
+leader in a leader-follower hash table cannot be relieved by replicas
+for reads (paper §7.3.3) while 1Pipe-ordered replicas can serve them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.net.nic import Host
+from repro.net.packet import Packet, PacketKind
+from repro.rdma.memory import MemoryRegion
+from repro.sim import Future, Simulator
+
+# Well-known process id of the RDMA agent on every host.
+RDMA_AGENT_PROC = 99_999_999
+
+# NIC-side execution delay of a one-sided op (DMA + verbs processing).
+NIC_OP_DELAY_NS = 150
+
+
+class RdmaAgent:
+    """Per-host NIC agent executing one-sided ops against a region.
+
+    Operations serialize at the NIC (one execution unit), so a saturated
+    target bounds throughput at ``1 / op_delay`` — this is what makes
+    the leader the bottleneck in leader-follower replication (§7.3.3).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        region: Optional[MemoryRegion] = None,
+        op_delay_ns: int = NIC_OP_DELAY_NS,
+    ) -> None:
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.region = region if region is not None else MemoryRegion(host.node_id)
+        self.op_delay_ns = op_delay_ns
+        self._busy_until = 0
+        self.ops_served = 0
+        host.register_endpoint(RDMA_AGENT_PROC, self._on_packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        kind = packet.kind
+        if kind not in (
+            PacketKind.RDMA_READ,
+            PacketKind.RDMA_WRITE,
+            PacketKind.RDMA_CAS,
+        ):
+            return
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + self.op_delay_ns
+        self.sim.schedule_at(self._busy_until, self._execute, packet)
+
+    def _execute(self, packet: Packet) -> None:
+        if self.host.failed:
+            return
+        self.ops_served += 1
+        op_id, addr, arg1, arg2 = packet.payload
+        kind = packet.kind
+        if kind == PacketKind.RDMA_READ:
+            result = self.region.read(addr)
+            response_bytes = 64
+        elif kind == PacketKind.RDMA_WRITE:
+            self.region.write(addr, arg1)
+            result = True
+            response_bytes = 16
+        else:  # CAS
+            result = self.region.compare_and_swap(addr, arg1, arg2)
+            response_bytes = 16
+        reply = Packet(
+            PacketKind.RDMA_RESP,
+            src=RDMA_AGENT_PROC,
+            dst=packet.src,
+            dst_host=packet.src_host,
+            payload_bytes=response_bytes,
+            payload=(op_id, result),
+        )
+        self.host.send_packet(reply)
+
+
+class RdmaClient:
+    """Issues one-sided operations; each returns a completion future."""
+
+    _op_ids = itertools.count(1)
+    _client_ids = itertools.count(50_000_000)
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.proc_id = next(self._client_ids)
+        self._pending: Dict[int, Future] = {}
+        self.completed_ops = 0
+        host.register_endpoint(self.proc_id, self._on_response)
+
+    # ------------------------------------------------------------------
+    def read(self, dst_host: str, addr: Any) -> Future:
+        return self._issue(PacketKind.RDMA_READ, dst_host, addr, None, None, 16, )
+
+    def write(self, dst_host: str, addr: Any, value: Any, size: int = 64) -> Future:
+        return self._issue(PacketKind.RDMA_WRITE, dst_host, addr, value, None, size)
+
+    def compare_and_swap(
+        self, dst_host: str, addr: Any, expected: Any, new: Any
+    ) -> Future:
+        return self._issue(
+            PacketKind.RDMA_CAS, dst_host, addr, expected, new, 24
+        )
+
+    def fence(self) -> Future:
+        """Resolve once every currently outstanding op completed.
+
+        This is the explicit ordering point 1Pipe's total order removes
+        (paper §2.2.1 / §7.3.3).
+        """
+        outstanding = list(self._pending.values())
+        fence_done = Future(self.sim)
+        if not outstanding:
+            fence_done.try_resolve(True)
+            return fence_done
+        remaining = [len(outstanding)]
+
+        def _one(_future: Future) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                fence_done.try_resolve(True)
+
+        for future in outstanding:
+            future.add_callback(_one)
+        return fence_done
+
+    # ------------------------------------------------------------------
+    def _issue(self, kind, dst_host, addr, arg1, arg2, size_bytes) -> Future:
+        op_id = next(self._op_ids)
+        future = Future(self.sim)
+        self._pending[op_id] = future
+        packet = Packet(
+            kind,
+            src=self.proc_id,
+            dst=RDMA_AGENT_PROC,
+            dst_host=dst_host,
+            payload_bytes=size_bytes,
+            payload=(op_id, addr, arg1, arg2),
+        )
+        self.host.send_packet(packet)
+        return future
+
+    def _on_response(self, packet: Packet) -> None:
+        if packet.kind != PacketKind.RDMA_RESP:
+            return
+        op_id, result = packet.payload
+        future = self._pending.pop(op_id, None)
+        if future is not None:
+            self.completed_ops += 1
+            future.try_resolve(result)

@@ -1,0 +1,53 @@
+"""Lightweight structured tracing for debugging simulations.
+
+Tracing is off by default and costs one attribute check per call when
+disabled.  When enabled, every ``trace()`` call appends a
+``(time, component, event, fields)`` tuple which tests can assert on and
+developers can dump.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+TraceRecord = Tuple[int, str, str, Dict[str, Any]]
+
+
+class Tracer:
+    """Collects structured trace records when enabled."""
+
+    def __init__(self, enabled: bool = False, limit: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.limit = limit
+        self.records: List[TraceRecord] = []
+
+    def trace(self, time: int, component: str, event: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self.limit is not None and len(self.records) >= self.limit:
+            return
+        self.records.append((time, component, event, fields))
+
+    def filter(self, component: Optional[str] = None, event: Optional[str] = None):
+        """Records matching the given component and/or event name."""
+        out = []
+        for record in self.records:
+            if component is not None and record[1] != component:
+                continue
+            if event is not None and record[2] != event:
+                continue
+            out.append(record)
+        return out
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def dump(self) -> str:  # pragma: no cover - debugging aid
+        lines = []
+        for time, component, event, fields in self.records:
+            detail = " ".join(f"{k}={v}" for k, v in fields.items())
+            lines.append(f"{time:>12} {component:<24} {event:<20} {detail}")
+        return "\n".join(lines)
+
+
+GLOBAL_TRACER = Tracer(enabled=False)

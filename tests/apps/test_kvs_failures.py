@@ -1,0 +1,72 @@
+"""KVS behaviour under failures: shard crash surfacing, RO retries under
+loss, and reliable scattering recalls reaching the application layer."""
+
+import pytest
+
+from repro.apps.kvstore import OnePipeKVS
+from repro.net import FailureInjector
+from repro.onepipe import OnePipeCluster
+from repro.sim import Simulator
+
+
+def collect(future, out):
+    future.add_callback(lambda f: out.append(f.value))
+
+
+def test_transactions_to_crashed_shard_do_not_commit():
+    """A write transaction touching a dead shard must not report
+    committed (the scattering is recalled / fails)."""
+    sim = Simulator(seed=81)
+    cluster = OnePipeCluster(sim, n_processes=8)
+    kvs = OnePipeKVS(cluster)
+    injector = FailureInjector(cluster.topology)
+    victim_host = cluster.endpoint(3).host_id
+    injector.crash_host(victim_host, at=100_000)
+    # Wait for the failure to be handled, then write to shard 3.
+    sim.run(until=600_000)
+    out = []
+    collect(kvs.run_txn(0, [("w", 3, 1), ("w", 4, 2)]), out)  # 3 -> shard 3
+    sim.run(until=1_500_000)
+    # The transaction never completes (no response from shard 3): the
+    # future stays unresolved rather than lying about a commit.
+    assert out == []
+    # But a transaction avoiding the dead shard commits normally.
+    out2 = []
+    collect(kvs.run_txn(1, [("w", 8, 5), ("w", 9, 5)]), out2)  # shards 0,1
+    sim.run(until=2_500_000)
+    assert len(out2) == 1 and out2[0].committed
+
+
+def test_surviving_shards_keep_serving():
+    sim = Simulator(seed=82)
+    cluster = OnePipeCluster(sim, n_processes=8)
+    kvs = OnePipeKVS(cluster)
+    injector = FailureInjector(cluster.topology)
+    injector.crash_host(cluster.endpoint(5).host_id, at=100_000)
+    results = []
+    for k in range(20):
+        key = k * 8 + (k % 4)  # shards 0..3 only
+        sim.schedule(
+            300_000 + k * 20_000,
+            lambda key=key: collect(kvs.run_txn(0, [("w", key, key)]), results),
+        )
+    sim.run(until=3_000_000)
+    assert len(results) == 20
+    assert all(r.committed for r in results)
+
+
+def test_ro_transactions_retry_through_loss_until_commit():
+    sim = Simulator(seed=83)
+    cluster = OnePipeCluster(sim, n_processes=4)
+    kvs = OnePipeKVS(cluster, ro_retry_timeout_ns=200_000)
+    cluster.set_receiver_loss_rate(0.3)  # brutal
+    out = []
+    for k in range(5):
+        sim.schedule(
+            k * 100_000,
+            lambda k=k: collect(kvs.run_txn(0, [("r", k, None)]), out),
+        )
+    sim.run(until=30_000_000)
+    assert len(out) == 5
+    assert all(r.committed for r in out)
+    assert kvs.ro_retries > 0

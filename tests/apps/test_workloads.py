@@ -1,0 +1,111 @@
+"""Tests for workload generators."""
+
+import random
+
+import pytest
+
+from repro.apps.workloads import (
+    EtcValueSizes,
+    TpccMix,
+    TxnMix,
+    UniformKeys,
+    YcsbZipfKeys,
+)
+
+
+class TestUniformKeys:
+    def test_keys_in_range_and_spread(self):
+        gen = UniformKeys(random.Random(1), n_keys=1000)
+        keys = [gen.next_key() for _ in range(5000)]
+        assert all(0 <= k < 1000 for k in keys)
+        # Roughly uniform: the most popular key takes a tiny share.
+        top = max(keys.count(k) for k in set(keys))
+        assert top < 30
+
+
+class TestZipf:
+    def test_keys_in_range(self):
+        gen = YcsbZipfKeys(random.Random(2), n_keys=10_000)
+        keys = [gen.next_key() for _ in range(2000)]
+        assert all(0 <= k < 10_000 for k in keys)
+
+    def test_hot_keys_dominate(self):
+        gen = YcsbZipfKeys(random.Random(3), n_keys=100_000)
+        keys = [gen.next_key() for _ in range(20_000)]
+        hot_share = sum(1 for k in keys if k < 100) / len(keys)
+        # With theta=0.99 the 0.1% hottest keys draw a large share.
+        assert hot_share > 0.3
+
+    def test_more_skew_with_higher_theta(self):
+        lo = YcsbZipfKeys(random.Random(4), n_keys=10_000, theta=0.5)
+        hi = YcsbZipfKeys(random.Random(4), n_keys=10_000, theta=0.99)
+        share = {}
+        for name, gen in (("lo", lo), ("hi", hi)):
+            keys = [gen.next_key() for _ in range(10_000)]
+            share[name] = sum(1 for k in keys if k < 10) / len(keys)
+        assert share["hi"] > share["lo"]
+
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbZipfKeys(random.Random(1), theta=1.5)
+
+
+class TestEtcValues:
+    def test_sizes_positive_and_capped(self):
+        gen = EtcValueSizes(random.Random(5), max_bytes=4096)
+        sizes = [gen.next_size() for _ in range(5000)]
+        assert all(1 <= s <= 4096 for s in sizes)
+
+    def test_small_median_heavy_tail(self):
+        gen = EtcValueSizes(random.Random(6))
+        sizes = sorted(gen.next_size() for _ in range(10_000))
+        median = sizes[len(sizes) // 2]
+        p99 = sizes[int(len(sizes) * 0.99)]
+        assert median < 200          # most values are small
+        assert p99 > 4 * median      # with a heavy tail
+
+
+class TestTxnMix:
+    def test_op_count_and_distinct_keys(self):
+        rng = random.Random(7)
+        mix = TxnMix(rng, UniformKeys(rng, 1000), EtcValueSizes(rng), n_ops=4)
+        txn = mix.next_txn()
+        assert len(txn) == 4
+        keys = [op[1] for op in txn]
+        assert len(set(keys)) == 4
+
+    def test_write_fraction_respected(self):
+        rng = random.Random(8)
+        mix = TxnMix(
+            rng, UniformKeys(rng, 10_000), EtcValueSizes(rng),
+            n_ops=2, write_fraction=0.1,
+        )
+        ops = [op for _ in range(2000) for op in mix.next_txn()]
+        write_share = sum(1 for op in ops if op[0] == "w") / len(ops)
+        assert 0.05 < write_share < 0.15
+
+    def test_pure_read_only(self):
+        rng = random.Random(9)
+        mix = TxnMix(
+            rng, UniformKeys(rng, 100), EtcValueSizes(rng),
+            n_ops=2, write_fraction=0.0,
+        )
+        assert all(op[0] == "r" for op in mix.next_txn())
+
+
+class TestTpccMix:
+    def test_mix_and_shapes(self):
+        mix = TpccMix(random.Random(10), n_warehouses=4)
+        kinds = []
+        for _ in range(1000):
+            txn = mix.next_txn()
+            kinds.append(txn[0])
+            assert 0 <= txn[1] < 4
+            if txn[0] == TpccMix.NEW_ORDER:
+                assert 5 <= len(txn[2]) <= 15
+            else:
+                customer, amount = txn[2]
+                assert 0 <= customer < 3000
+                assert 1 <= amount <= 5000
+        share = kinds.count(TpccMix.NEW_ORDER) / len(kinds)
+        assert 0.4 < share < 0.6

@@ -1,0 +1,178 @@
+"""Tests for the total-order broadcast baselines (Fig. 8 comparators).
+
+Every baseline must actually deliver a total order — otherwise the
+throughput comparison against 1Pipe would be meaningless.
+"""
+
+import pytest
+
+from repro.baselines import (
+    LamportBroadcast,
+    SequencerBroadcast,
+    TokenRingBroadcast,
+)
+from repro.net import build_testbed
+from repro.sim import Simulator
+
+
+def build(kind, n=8, seed=1, **kwargs):
+    sim = Simulator(seed=seed)
+    topo = build_testbed(sim)
+    if kind == "switch_seq":
+        group = SequencerBroadcast(sim, topo, n, kind="switch", **kwargs)
+    elif kind == "host_seq":
+        group = SequencerBroadcast(sim, topo, n, kind="host", **kwargs)
+    elif kind == "token":
+        group = TokenRingBroadcast(sim, topo, n, **kwargs)
+        group.start()
+    elif kind == "lamport":
+        group = LamportBroadcast(sim, topo, n, **kwargs)
+    else:
+        raise ValueError(kind)
+    group.enable_logging()
+    return sim, group
+
+
+def drive(sim, group, rounds=10, spacing_ns=20_000):
+    n = len(group.members)
+    sent = 0
+    for r in range(rounds):
+        for s in range(n):
+            sim.schedule(r * spacing_ns, group.broadcast, s, f"r{r}m{s}")
+            sent += 1
+    sim.run(until=rounds * spacing_ns + 10_000_000)
+    return sent
+
+
+def assert_total_order(group):
+    logs = [m.delivered_log for m in group.members]
+    reference = [(key, src, payload) for key, src, payload in logs[0]]
+    for i, log in enumerate(logs[1:], start=1):
+        assert log == reference, f"member {i} diverged from member 0"
+
+
+ALL_KINDS = ["switch_seq", "host_seq", "token", "lamport"]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_total_order_and_completeness(kind):
+    sim, group = build(kind)
+    sent = drive(sim, group)
+    n = len(group.members)
+    # Every broadcast reaches every member exactly once.
+    for member in group.members:
+        assert member.delivered_count == sent
+    assert_total_order(group)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_delivery_includes_own_messages(kind):
+    sim, group = build(kind)
+    drive(sim, group, rounds=2)
+    own = [
+        (key, src, p)
+        for key, src, p in group.members[0].delivered_log
+        if src == 0
+    ]
+    assert len(own) == 2
+
+
+def test_sequencer_is_the_chokepoint():
+    sim, group = build("host_seq", n=8)
+    drive(sim, group, rounds=20, spacing_ns=5_000)
+    assert group.sequenced == 160  # every broadcast passed through it
+
+
+def test_switch_sequencer_outpaces_host_sequencer():
+    """Same paced offered load: the switch-chip sequencer finishes its
+    backlog sooner than the host sequencer (Fig. 8 ordering)."""
+    finish = {}
+    for kind in ("switch_seq", "host_seq"):
+        sim, group = build(kind, n=16)
+        n = len(group.members)
+        for r in range(20):
+            for s in range(n):
+                sim.schedule(r * 4_000, group.broadcast, s, f"{r}:{s}")
+        expected = 20 * n * n
+        # Run until everything is delivered; record when.
+        while group.total_delivered() < expected and sim.now < 100_000_000:
+            sim.run(until=sim.now + 100_000)
+        assert group.total_delivered() == expected
+        finish[kind] = sim.now
+    assert finish["switch_seq"] <= finish["host_seq"]
+
+
+def test_sequencer_saturation_builds_backlog():
+    """A blast saturates the sequencer CPU: deliveries lag far behind
+    the offered load (the paper's 'latency soars when the sequencer
+    saturates' regime) and only drain long after."""
+    sim, group = build("host_seq", n=16)
+    n = len(group.members)
+    for r in range(40):
+        for s in range(n):
+            group.broadcast(s, f"{r}:{s}")
+    # Shortly after the blast the sequencer has sequenced only a small
+    # fraction: everything else queues behind its CPU.
+    sim.run(until=300_000)
+    assert group.total_delivered() < 40 * n * n // 2
+    # Eventually the backlog drains completely (no losses).
+    sim.run(until=120_000_000)
+    assert group.total_delivered() == 40 * n * n
+
+
+def test_token_rotations_counted():
+    sim, group = build("token", n=4)
+    drive(sim, group, rounds=3)
+    assert group.token_rotations > 0
+
+
+def test_token_holder_exclusivity():
+    """At most one member sends data per token position: sequence
+    numbers are globally unique and dense."""
+    sim, group = build("token", n=4)
+    drive(sim, group, rounds=5)
+    seqs = [key for key, _src, _p in group.members[0].delivered_log]
+    assert seqs == list(range(1, len(seqs) + 1))
+
+
+def test_lamport_interval_bounds_latency():
+    """Delivery latency is dominated by the exchange interval."""
+    results = {}
+    for interval in (10_000, 80_000):
+        sim = Simulator(seed=3)
+        topo = build_testbed(sim)
+        group = LamportBroadcast(
+            sim, topo, 8, exchange_interval_ns=interval
+        )
+        deliveries = []
+        sends = {}
+        group.deliver_callback = (
+            lambda member, key, src, payload: deliveries.append(
+                sim.now - sends[payload]
+            )
+        )
+
+        def send(tag):
+            sends[tag] = sim.now
+            group.broadcast(0, tag)
+
+        for k, t in enumerate(range(100_000, 600_000, 50_000)):
+            sim.schedule(t, send, f"m{k}")
+        sim.run(until=2_000_000)
+        results[interval] = sum(deliveries) / len(deliveries)
+    assert results[80_000] > results[10_000]
+
+
+def test_lamport_clock_exchange_overhead_counted():
+    sim, group = build("lamport", n=4)
+    drive(sim, group, rounds=1)
+    assert group.clock_messages > 0
+
+
+def test_group_too_small_rejected():
+    sim = Simulator()
+    topo = build_testbed(sim)
+    with pytest.raises(ValueError):
+        SequencerBroadcast(sim, topo, 1)
+    with pytest.raises(ValueError):
+        SequencerBroadcast(sim, topo, 4, kind="quantum")

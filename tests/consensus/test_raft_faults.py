@@ -1,0 +1,107 @@
+"""Randomized fault-schedule property tests for Raft.
+
+State machine safety under arbitrary crash/recover schedules: no two
+nodes ever apply different commands at the same log index.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.raft import RaftGroup
+from repro.sim import Simulator
+
+fault_schedule = st.lists(
+    st.tuples(
+        st.integers(0, 2),                  # node
+        st.sampled_from(["crash", "recover"]),
+        st.integers(0, 8_000_000),          # time
+    ),
+    max_size=6,
+)
+
+proposal_times = st.lists(
+    st.integers(500_000, 8_000_000), min_size=1, max_size=10
+)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 100_000), faults=fault_schedule,
+       proposals=proposal_times)
+def test_state_machine_safety_under_faults(seed, faults, proposals):
+    sim = Simulator(seed=seed)
+    applied = {i: [] for i in range(3)}
+    group = RaftGroup(
+        sim,
+        n_nodes=3,
+        apply_callback=lambda node, cmd, idx: applied[node].append((idx, cmd)),
+    )
+
+    def act(node_id, action):
+        node = group.nodes[node_id]
+        if action == "crash" and not node.crashed:
+            node.crash()
+        elif action == "recover" and node.crashed:
+            node.recover()
+
+    for node_id, action, at in faults:
+        sim.schedule_at(at, act, node_id, action)
+
+    counter = [0]
+
+    def propose():
+        counter[0] += 1
+        group.propose(f"cmd{counter[0]}")
+
+    for at in sorted(proposals):
+        sim.schedule_at(at, propose)
+
+    sim.run(until=12_000_000)
+
+    # Safety (the Raft State Machine Safety property): every log index
+    # maps to exactly one command, and all nodes agree on it.  A node
+    # that crash-recovers legitimately *re-applies* its log from the
+    # start (no snapshotting here) — real applications dedupe by index —
+    # so repeats of the same (index, command) are allowed; conflicting
+    # commands at one index are not.
+    index_commands = {}
+    for node_id, entries in applied.items():
+        for idx, cmd in entries:
+            key = idx
+            if key in index_commands:
+                assert index_commands[key] == cmd, (
+                    f"index {idx} applied as {index_commands[key]!r} "
+                    f"and {cmd!r}"
+                )
+            else:
+                index_commands[key] = cmd
+    # Within one uninterrupted run of applications, indices ascend.
+    for node_id, entries in applied.items():
+        indices = [idx for idx, _cmd in entries]
+        for prev, nxt in zip(indices, indices[1:]):
+            assert nxt == prev + 1 or nxt == 1  # restart replays from 1
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 100_000),
+       loss=st.sampled_from([0.0, 0.05, 0.2]))
+def test_liveness_with_majority_up(seed, loss):
+    """With all nodes up and bounded loss, proposals eventually commit."""
+    sim = Simulator(seed=seed)
+    applied = {i: [] for i in range(3)}
+    group = RaftGroup(
+        sim, n_nodes=3, loss_rate=loss,
+        apply_callback=lambda node, cmd, idx: applied[node].append(cmd),
+    )
+    sim.run(until=3_000_000)
+
+    def propose_when_leader(attempts=0):
+        if group.propose("the-command"):
+            return
+        if attempts < 200:
+            sim.schedule(100_000, propose_when_leader, attempts + 1)
+
+    propose_when_leader()
+    sim.run(until=40_000_000)
+    assert any("the-command" in entries for entries in applied.values())

@@ -1,0 +1,50 @@
+"""Tests for packets and fragmentation."""
+
+import pytest
+
+from repro.net.packet import (
+    HEADER_OVERHEAD_BYTES,
+    Packet,
+    PacketKind,
+    fragment_sizes,
+)
+
+
+def test_wire_bytes_includes_headers():
+    pkt = Packet(PacketKind.DATA, payload_bytes=100)
+    assert pkt.wire_bytes == 100 + HEADER_OVERHEAD_BYTES
+
+
+def test_packet_ids_unique():
+    a = Packet(PacketKind.DATA)
+    b = Packet(PacketKind.DATA)
+    assert a.pkt_id != b.pkt_id
+
+
+def test_default_fields():
+    pkt = Packet(PacketKind.BEACON, barrier_ts=77)
+    assert pkt.src == -1
+    assert pkt.dst == -1
+    assert pkt.barrier_ts == 77
+    assert pkt.ecn is False
+    assert pkt.last_frag is True
+
+
+def test_fragment_sizes_exact_multiple():
+    assert fragment_sizes(2048, 1024) == [1024, 1024]
+
+
+def test_fragment_sizes_remainder():
+    assert fragment_sizes(2500, 1024) == [1024, 1024, 452]
+
+
+def test_fragment_sizes_small_and_empty():
+    assert fragment_sizes(10, 1024) == [10]
+    assert fragment_sizes(0, 1024) == [0]
+
+
+def test_fragment_sizes_validation():
+    with pytest.raises(ValueError):
+        fragment_sizes(-1, 1024)
+    with pytest.raises(ValueError):
+        fragment_sizes(100, 0)

@@ -1,0 +1,119 @@
+"""Tests for the Table 1 API surface and endpoint lifecycle."""
+
+import pytest
+
+from repro.onepipe import Message, OnePipeCluster, OnePipeConfig
+from repro.onepipe.config import MODES
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def cluster():
+    sim = Simulator(seed=1)
+    return sim, OnePipeCluster(sim, n_processes=4)
+
+
+class TestTableOneSurface:
+    def test_unreliable_send_recv(self, cluster):
+        sim, c = cluster
+        got = []
+        c.endpoint(1).on_unreliable_recv(got.append)
+        c.endpoint(0).unreliable_send([(1, "be")])
+        sim.run(until=100_000)
+        assert len(got) == 1
+        assert isinstance(got[0], Message)
+        assert got[0].payload == "be" and not got[0].reliable
+
+    def test_reliable_send_recv(self, cluster):
+        sim, c = cluster
+        got = []
+        c.endpoint(1).on_reliable_recv(got.append)
+        c.endpoint(0).reliable_send([(1, "r")])
+        sim.run(until=200_000)
+        assert [m.payload for m in got] == ["r"]
+        assert got[0].reliable
+
+    def test_service_specific_callbacks_filter(self, cluster):
+        sim, c = cluster
+        be_only, r_only, both = [], [], []
+        c.endpoint(1).on_unreliable_recv(be_only.append)
+        c.endpoint(1).on_reliable_recv(r_only.append)
+        c.endpoint(1).on_recv(both.append)
+        c.endpoint(0).unreliable_send([(1, "be")])
+        c.endpoint(0).reliable_send([(1, "r")])
+        sim.run(until=300_000)
+        assert [m.payload for m in be_only] == ["be"]
+        assert [m.payload for m in r_only] == ["r"]
+        assert {m.payload for m in both} == {"be", "r"}
+
+    def test_get_timestamp(self, cluster):
+        sim, c = cluster
+        sim.run(until=5_000)
+        ts = c.endpoint(0).get_timestamp()
+        assert ts >= c.topology.clock_sync.epoch_ns
+
+    def test_send_fail_callback_registration(self, cluster):
+        sim, c = cluster
+        fails = []
+        c.endpoint(0).set_send_fail_callback(
+            lambda ts, dst, payload: fails.append((dst, payload))
+        )
+        c.topology.link("tor0.0.down", "h1").set_loss_rate(1.0)
+        c.endpoint(0).unreliable_send([(1, "lost")])
+        sim.run(until=500_000)
+        assert fails == [(1, "lost")]
+
+    def test_exit_then_send_raises(self, cluster):
+        sim, c = cluster
+        ep = c.endpoint(0)
+        ep.close()
+        with pytest.raises(RuntimeError):
+            ep.reliable_send([(1, "x")])
+
+    def test_message_is_frozen(self, cluster):
+        message = Message(1, 2, "x", False)
+        with pytest.raises(Exception):
+            message.ts = 5  # type: ignore[misc]
+
+
+class TestClusterAssembly:
+    def test_all_modes_build(self):
+        for mode in MODES:
+            sim = Simulator(seed=2)
+            c = OnePipeCluster(
+                sim, n_processes=4, config=OnePipeConfig(mode=mode)
+            )
+            assert len(c.engines) == len(c.topology.switches)
+
+    def test_every_host_runs_an_agent(self, cluster):
+        _sim, c = cluster
+        assert set(c.agents) == {h.node_id for h in c.topology.hosts}
+
+    def test_controller_optional(self):
+        sim = Simulator(seed=3)
+        c = OnePipeCluster(sim, n_processes=4, enable_controller=False)
+        assert c.controller is None
+        got = []
+        c.endpoint(1).on_recv(got.append)
+        c.endpoint(0).unreliable_send([(1, "x")])
+        sim.run(until=100_000)
+        assert len(got) == 1
+
+    def test_add_endpoint_after_build(self, cluster):
+        sim, c = cluster
+        new_ep = c.add_endpoint("h5", proc_id=99)
+        got = []
+        new_ep.on_recv(got.append)
+        c.endpoint(0).unreliable_send([(99, "late-joiner")])
+        sim.run(until=100_000)
+        assert [m.payload for m in got] == ["late-joiner"]
+
+    def test_total_beacons_counted(self, cluster):
+        sim, c = cluster
+        sim.run(until=100_000)
+        assert c.total_beacons() > 0
+
+    def test_receiver_loss_rate_validation(self, cluster):
+        _sim, c = cluster
+        with pytest.raises(ValueError):
+            c.set_receiver_loss_rate(1.5)

@@ -1,0 +1,142 @@
+"""Tests for barrier register files (paper equation 4.1 semantics)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.onepipe.barrier import BarrierRegisterFile
+
+
+def make_file(n=3):
+    f = BarrierRegisterFile()
+    for i in range(n):
+        f.add_link(f"l{i}")
+    return f
+
+
+def test_minimum_over_registers():
+    f = make_file()
+    f.update("l0", 100)
+    f.update("l1", 50)
+    f.update("l2", 80)
+    assert f.minimum() == 50
+
+
+def test_registers_only_grow():
+    f = make_file(1)
+    f.update("l0", 100)
+    f.update("l0", 40)  # stale barrier: ignored
+    assert f.register_value("l0") == 100
+
+
+def test_empty_file_minimum_zero():
+    f = BarrierRegisterFile()
+    assert f.minimum() == 0
+
+
+def test_unknown_link_raises():
+    f = make_file(1)
+    with pytest.raises(KeyError):
+        f.update("nope", 5)
+    with pytest.raises(KeyError):
+        f.register_value("nope")
+    with pytest.raises(KeyError):
+        f.remove_link("nope")
+
+
+def test_duplicate_add_rejected():
+    f = make_file(1)
+    with pytest.raises(ValueError):
+        f.add_link("l0")
+    with pytest.raises(ValueError):
+        f.join_link("l0")
+
+
+def test_remove_link_advances_minimum():
+    f = make_file(3)
+    f.update("l0", 100)
+    f.update("l1", 10)
+    f.update("l2", 80)
+    assert f.minimum() == 10
+    f.remove_link("l1")  # dead link dropped (paper 4.2)
+    assert f.minimum() == 80
+
+
+def test_joining_link_excluded_until_caught_up():
+    f = make_file(2)
+    f.update("l0", 100)
+    f.update("l1", 120)
+    assert f.minimum() == 100
+    f.join_link("new")
+    # A fresh link with a low barrier must not drag the minimum down.
+    f.update("new", 5)
+    assert f.minimum() == 100
+    # Once it reaches the current minimum it becomes active.
+    f.update("new", 100)
+    assert f.has_link("new")
+    f.update("l0", 200)
+    assert f.minimum() == 100  # now the newcomer holds the minimum
+
+
+def test_pending_link_removable():
+    f = make_file(1)
+    f.join_link("p")
+    f.remove_link("p")
+    assert not f.has_link("p")
+
+
+def test_laggards():
+    f = make_file(3)
+    f.update("l0", 100)
+    f.update("l1", 5)
+    f.update("l2", 100)
+    assert f.laggards(50) == ["l1"]
+
+
+def test_n_links_counts_pending():
+    f = make_file(2)
+    f.join_link("p")
+    assert f.n_links == 3
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=0, max_value=10_000)),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_minimum_monotone_under_any_update_sequence(updates):
+    """Emitted minimum must never decrease (the barrier promise)."""
+    f = make_file(4)
+    last_min = f.minimum()
+    for link_index, value in updates:
+        f.update(f"l{link_index}", value)
+        current = f.minimum()
+        assert current >= last_min
+        last_min = current
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=0, max_value=10_000)),
+        min_size=1,
+        max_size=100,
+    ),
+    st.integers(min_value=0, max_value=3),
+)
+def test_minimum_matches_bruteforce(updates, remove_index):
+    """Incremental minimum equals recomputing from scratch."""
+    f = make_file(4)
+    shadow = {f"l{i}": 0 for i in range(4)}
+    for link_index, value in updates:
+        name = f"l{link_index}"
+        f.update(name, value)
+        shadow[name] = max(shadow[name], value)
+        assert f.minimum() == min(shadow.values())
+    name = f"l{remove_index}"
+    f.remove_link(name)
+    del shadow[name]
+    assert f.minimum() == min(shadow.values())

@@ -1,0 +1,112 @@
+"""Unit tests for the failure-determination graph algorithms (§5.2)."""
+
+import pytest
+
+from repro.net import build_testbed
+from repro.onepipe.failure import (
+    DeadLinkReport,
+    alive_nodes,
+    determine,
+    disconnected_hosts,
+    failure_timestamp,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def topo():
+    return build_testbed(Simulator())
+
+
+ROOTS = ["core0", "core1"]
+
+
+def hosts(topo):
+    return [h.node_id for h in topo.hosts]
+
+
+def report(topo, src, dst, last_commit=100):
+    return DeadLinkReport("tester", topo.link(src, dst), last_commit)
+
+
+class TestAliveNodes:
+    def test_everything_alive_without_failures(self, topo):
+        alive = alive_nodes(topo.graph, set(), ROOTS)
+        assert set(hosts(topo)) <= alive
+
+    def test_host_uplink_dead_disconnects_host(self, topo):
+        dead = {topo.link("h3", "tor0.0.up")}
+        failed = disconnected_hosts(topo.graph, dead, ROOTS, hosts(topo))
+        assert failed == {"h3"}
+
+    def test_host_downlink_dead_disconnects_host(self, topo):
+        dead = {topo.link("tor0.0.down", "h3")}
+        failed = disconnected_hosts(topo.graph, dead, ROOTS, hosts(topo))
+        assert failed == {"h3"}
+
+    def test_core_link_dead_disconnects_nobody(self, topo):
+        dead = {topo.link("spine0.0.up", "core0")}
+        failed = disconnected_hosts(topo.graph, dead, ROOTS, hosts(topo))
+        assert failed == set()
+
+    def test_tor_uplinks_dead_disconnect_rack(self, topo):
+        dead = {
+            topo.link("tor0.0.up", "spine0.0.up"),
+            topo.link("tor0.0.up", "spine0.1.up"),
+        }
+        failed = disconnected_hosts(topo.graph, dead, ROOTS, hosts(topo))
+        assert failed == {f"h{i}" for i in range(8)}
+
+
+class TestDetermine:
+    def test_single_host_failure_timestamp(self, topo):
+        reports = [report(topo, "h3", "tor0.0.up", last_commit=777)]
+        failed, timestamps = determine(
+            topo.graph, reports, ROOTS, hosts(topo)
+        )
+        assert failed == {"h3"}
+        assert timestamps["h3"] == 777
+
+    def test_rack_failure_takes_max_over_cut(self, topo):
+        reports = [
+            report(topo, "tor0.0.up", "spine0.0.up", last_commit=500),
+            report(topo, "tor0.0.up", "spine0.1.up", last_commit=620),
+        ]
+        failed, timestamps = determine(
+            topo.graph, reports, ROOTS, hosts(topo)
+        )
+        assert failed == {f"h{i}" for i in range(8)}
+        assert all(timestamps[h] == 620 for h in failed)
+
+    def test_no_failure_empty_result(self, topo):
+        reports = [report(topo, "spine0.0.up", "core0", last_commit=42)]
+        failed, timestamps = determine(
+            topo.graph, reports, ROOTS, hosts(topo)
+        )
+        assert failed == set()
+        assert timestamps == {}
+
+    def test_independent_failures_get_independent_timestamps(self, topo):
+        reports = [
+            report(topo, "h0", "tor0.0.up", last_commit=100),
+            report(topo, "h20", "tor1.0.up", last_commit=900),
+        ]
+        failed, timestamps = determine(
+            topo.graph, reports, ROOTS, hosts(topo)
+        )
+        assert failed == {"h0", "h20"}
+        assert timestamps["h0"] == 100
+        assert timestamps["h20"] == 900
+
+
+class TestFailureTimestamp:
+    def test_max_over_region_reports(self, topo):
+        reports = [
+            report(topo, "h0", "tor0.0.up", 10),
+            report(topo, "h1", "tor0.0.up", 30),
+            report(topo, "h20", "tor1.0.up", 99),  # other region
+        ]
+        assert failure_timestamp({"h0", "h1"}, reports) == 30
+
+    def test_no_matching_reports_returns_zero(self, topo):
+        assert failure_timestamp({"h5"}, []) == 0

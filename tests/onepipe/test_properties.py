@@ -1,0 +1,175 @@
+"""Property-based tests of the 1Pipe invariants (hypothesis).
+
+Each property drives a full cluster with a randomized workload (senders,
+destinations, sizes, send times, loss) and checks the §2.1 guarantees:
+
+- total order: all receivers deliver in ``(ts, sender)`` order, and any
+  two receivers agree on the relative order of common messages;
+- causality: the receiving host's clock exceeds every delivered ts;
+- FIFO: per (sender, receiver) pair, delivery order equals send order;
+- exactly-once for the reliable service, at-most-once for best effort.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.onepipe import OnePipeCluster
+from repro.sim import Simulator
+
+N_PROCS = 8
+
+workload_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_PROCS - 1),  # sender
+        st.lists(  # destinations
+            st.integers(min_value=0, max_value=N_PROCS - 1),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+        st.integers(min_value=0, max_value=200_000),  # send time
+        st.integers(min_value=16, max_value=3000),  # size (may fragment)
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+fast = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_workload(seed, workload, reliable, loss_rate=0.0):
+    sim = Simulator(seed=seed)
+    cluster = OnePipeCluster(sim, n_processes=N_PROCS)
+    if loss_rate:
+        # Receiver-side injection (paper §7.2): heavy link-level loss
+        # would legitimately trigger liveness-based failure handling.
+        cluster.set_receiver_loss_rate(loss_rate)
+    deliveries = {i: [] for i in range(N_PROCS)}
+    causality_violations = []
+    for i in range(N_PROCS):
+        ep = cluster.endpoint(i)
+
+        def cb(message, ep=ep, i=i):
+            deliveries[i].append(message)
+            if ep.get_timestamp() <= message.ts:
+                causality_violations.append((i, message.ts))
+
+        ep.on_recv(cb)
+
+    counter = [0]
+
+    def send(sender, dsts):
+        counter[0] += 1
+        entries = [(d, (sender, counter[0], d)) for d in dsts]
+        fn = (
+            cluster.endpoint(sender).reliable_send
+            if reliable
+            else cluster.endpoint(sender).unreliable_send
+        )
+        fn(entries)
+
+    expected = 0
+    for sender, dsts, at, size in workload:
+        entries_count = len(dsts)
+        expected += entries_count
+        sim.schedule_at(at, send, sender, dsts)
+    sim.run(until=3_000_000)
+    return cluster, deliveries, causality_violations, expected
+
+
+def assert_order_invariants(deliveries):
+    sequences = {}
+    for i, msgs in deliveries.items():
+        keys = [(m.ts, m.src) for m in msgs]
+        assert keys == sorted(keys), f"receiver {i} out of order"
+        sequences[i] = [(m.ts, m.src, m.payload) for m in msgs]
+    receivers = sorted(sequences)
+    for a in receivers:
+        index_a = {key: n for n, key in enumerate(sequences[a])}
+        for b in receivers:
+            if b <= a:
+                continue
+            positions = [
+                index_a[key] for key in sequences[b] if key in index_a
+            ]
+            assert positions == sorted(positions), (a, b)
+
+
+def assert_fifo(deliveries):
+    for i, msgs in deliveries.items():
+        per_sender = {}
+        for m in msgs:
+            per_sender.setdefault(m.src, []).append(m.payload[1])
+        for sender, seqs in per_sender.items():
+            assert seqs == sorted(seqs), (
+                f"FIFO violated {sender}->{i}: {seqs}"
+            )
+
+
+@fast
+@given(workload=workload_strategy, seed=st.integers(0, 1000))
+def test_best_effort_total_order_and_causality(workload, seed):
+    _cluster, deliveries, violations, expected = run_workload(
+        seed, workload, reliable=False
+    )
+    assert violations == []
+    assert_order_invariants(deliveries)
+    assert_fifo(deliveries)
+    # Lossless network: best effort delivers everything exactly once.
+    assert sum(len(v) for v in deliveries.values()) == expected
+
+
+@fast
+@given(workload=workload_strategy, seed=st.integers(0, 1000))
+def test_reliable_exactly_once_total_order(workload, seed):
+    _cluster, deliveries, violations, expected = run_workload(
+        seed, workload, reliable=True
+    )
+    assert violations == []
+    assert_order_invariants(deliveries)
+    assert_fifo(deliveries)
+    assert sum(len(v) for v in deliveries.values()) == expected
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    workload=workload_strategy,
+    seed=st.integers(0, 1000),
+    loss=st.sampled_from([0.01, 0.05, 0.15]),
+)
+def test_reliable_exactly_once_under_loss(workload, seed, loss):
+    _cluster, deliveries, violations, expected = run_workload(
+        seed, workload, reliable=True, loss_rate=loss
+    )
+    assert violations == []
+    assert_order_invariants(deliveries)
+    assert sum(len(v) for v in deliveries.values()) == expected
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    workload=workload_strategy,
+    seed=st.integers(0, 1000),
+    loss=st.sampled_from([0.02, 0.1]),
+)
+def test_best_effort_at_most_once_under_loss(workload, seed, loss):
+    _cluster, deliveries, violations, expected = run_workload(
+        seed, workload, reliable=False, loss_rate=loss
+    )
+    assert violations == []
+    assert_order_invariants(deliveries)
+    delivered = sum(len(v) for v in deliveries.values())
+    assert delivered <= expected  # at most once, possibly fewer
+    # No duplicates ever.
+    seen = set()
+    for i, msgs in deliveries.items():
+        for m in msgs:
+            key = (i, m.src, m.payload)
+            assert key not in seen
+            seen.add(key)

@@ -1,0 +1,232 @@
+"""Unit tests for the receiver: assembly, dedup, NAKs, buffer stats."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.onepipe.config import OnePipeConfig
+from repro.onepipe.receiver import ProcessReceiver
+from repro.sim import Simulator
+
+
+class _StubHost:
+    """Collects the receiver's outgoing control packets (ACK/NAK)."""
+
+    def __init__(self) -> None:
+        self.sent = []
+
+    def send_packet(self, packet):
+        self.sent.append(packet)
+        return True
+
+
+class _StubAgent:
+    def __init__(self, sim):
+        self.sim = sim
+        self.host = _StubHost()
+
+
+@pytest.fixture()
+def rig():
+    """A standalone receiver: no cluster barriers, synchronous delivery
+    (cpu cost 0) so assertions can run without stepping the simulator."""
+    sim = Simulator(seed=1)
+    agent = _StubAgent(sim)
+    config = OnePipeConfig(cpu_ns_per_msg=0)
+    receiver = ProcessReceiver(agent, proc_id=1, config=config)
+    delivered = []
+    receiver.deliver_callback = (
+        lambda ts, src, payload, reliable: delivered.append(
+            (ts, src, payload, reliable)
+        )
+    )
+    return sim, receiver, delivered
+
+
+def data_packet(ts, src=0, msg_id=1, psn=0, n_frags=1, last=True,
+                payload="p", kind=PacketKind.DATA, size=64):
+    return Packet(
+        kind,
+        src=src,
+        dst=1,
+        src_host="h0",
+        dst_host="h1",
+        msg_ts=ts,
+        psn=psn,
+        msg_id=msg_id,
+        last_frag=last,
+        payload_bytes=size,
+        payload=payload if last else None,
+        meta={"n_frags": n_frags},
+    )
+
+
+class TestAssembly:
+    def test_single_fragment_buffers_and_delivers_on_barrier(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=100))
+        assert delivered == []
+        receiver.flush(be_barrier=101, commit_barrier=0)
+        assert delivered == [(100, 0, "p", False)]
+
+    def test_fragments_out_of_order_assemble(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(
+            data_packet(ts=50, psn=2, n_frags=3, last=True)
+        )
+        receiver.on_data_packet(
+            data_packet(ts=50, psn=0, n_frags=3, last=False)
+        )
+        assert receiver.arrivals == 0  # incomplete
+        receiver.on_data_packet(
+            data_packet(ts=50, psn=1, n_frags=3, last=False)
+        )
+        assert receiver.arrivals == 1
+        receiver.flush(51, 0)
+        assert len(delivered) == 1
+
+    def test_duplicate_fragment_ignored(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=50, psn=0, n_frags=2, last=False))
+        receiver.on_data_packet(data_packet(ts=50, psn=0, n_frags=2, last=False))
+        assert receiver.arrivals == 0
+
+    def test_strict_barrier_gate(self, rig):
+        """A message with ts == barrier is NOT deliverable (strict <)."""
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=100))
+        receiver.flush(be_barrier=100, commit_barrier=0)
+        assert delivered == []
+        receiver.flush(be_barrier=101, commit_barrier=0)
+        assert len(delivered) == 1
+
+
+class TestDedupAndLateness:
+    def test_duplicate_message_reacked_not_redelivered(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=10, msg_id=7))
+        receiver.flush(11, 0)
+        receiver.on_data_packet(data_packet(ts=10, msg_id=7))  # rtx dup
+        receiver.flush(12, 0)
+        assert len(delivered) == 1
+        assert receiver.duplicates == 1
+
+    def test_buffered_duplicate_not_requeued(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=10, msg_id=7))
+        receiver.on_data_packet(data_packet(ts=10, msg_id=7))
+        receiver.flush(11, 0)
+        assert len(delivered) == 1
+        assert receiver.duplicates == 1
+
+    def test_late_arrival_naked(self, rig):
+        sim, receiver, delivered = rig
+        receiver.flush(be_barrier=1000, commit_barrier=0)
+        receiver.on_data_packet(data_packet(ts=500, msg_id=9))
+        assert receiver.late_naks == 1
+        receiver.flush(2000, 0)
+        assert delivered == []
+
+    def test_reliable_gated_by_commit_barrier_only(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(
+            data_packet(ts=100, kind=PacketKind.RDATA)
+        )
+        receiver.flush(be_barrier=500, commit_barrier=50)
+        assert delivered == []  # prepared, not committed
+        receiver.flush(be_barrier=500, commit_barrier=101)
+        assert len(delivered) == 1
+        assert delivered[0][3] is True
+
+    def test_merged_order_be_blocked_behind_uncommitted_reliable(self, rig):
+        """strict_merge: a best-effort message must not overtake an
+        uncommitted reliable message with a smaller timestamp."""
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(
+            data_packet(ts=100, msg_id=1, kind=PacketKind.RDATA)
+        )
+        receiver.on_data_packet(data_packet(ts=200, msg_id=2))
+        receiver.flush(be_barrier=300, commit_barrier=50)
+        assert delivered == []  # BE@200 waits behind R@100
+        receiver.flush(be_barrier=300, commit_barrier=150)
+        assert [d[0] for d in delivered] == [100, 200]
+
+
+class TestFailureDiscards:
+    def test_discard_from_cutoff(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=100, msg_id=1))
+        receiver.on_data_packet(data_packet(ts=300, msg_id=2))
+        discarded = receiver.discard_from(failed_proc=0, failure_ts=200)
+        assert discarded == 1
+        receiver.flush(1000, 1000)
+        assert [d[0] for d in delivered] == [100]
+
+    def test_arrivals_beyond_cutoff_dropped(self, rig):
+        sim, receiver, delivered = rig
+        receiver.discard_from(failed_proc=0, failure_ts=200)
+        receiver.on_data_packet(data_packet(ts=250, msg_id=3))
+        receiver.flush(1000, 1000)
+        assert delivered == []
+
+    def test_discard_message_tombstone(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=100, msg_id=5))
+        assert receiver.discard_message(0, 5) is True
+        receiver.flush(1000, 1000)
+        assert delivered == []
+
+    def test_discard_already_delivered_returns_false(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=100, msg_id=5))
+        receiver.flush(101, 0)
+        assert receiver.discard_message(0, 5) is False
+
+
+class TestControlReplies:
+    def test_ack_emitted_on_assembly(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=10, msg_id=4))
+        sent = receiver.agent.host.sent
+        assert len(sent) == 1
+        assert sent[0].kind == PacketKind.ACK
+        assert sent[0].payload == ("ack", 4, False)
+        assert sent[0].dst_host == "h0"
+
+    def test_ack_echoes_ecn(self, rig):
+        sim, receiver, delivered = rig
+        pkt = data_packet(ts=10, msg_id=4)
+        pkt.ecn = True
+        receiver.on_data_packet(pkt)
+        assert receiver.agent.host.sent[0].payload == ("ack", 4, True)
+
+    def test_nak_emitted_for_late_message(self, rig):
+        sim, receiver, delivered = rig
+        receiver.flush(1000, 1000)
+        receiver.on_data_packet(data_packet(ts=10, msg_id=4))
+        sent = receiver.agent.host.sent
+        assert len(sent) == 1
+        assert sent[0].kind == PacketKind.NAK
+        assert sent[0].payload == ("nak", 4)
+
+    def test_no_ack_until_assembly_completes(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(
+            data_packet(ts=10, msg_id=4, psn=0, n_frags=2, last=False)
+        )
+        assert receiver.agent.host.sent == []
+        receiver.on_data_packet(
+            data_packet(ts=10, msg_id=4, psn=1, n_frags=2, last=True)
+        )
+        assert len(receiver.agent.host.sent) == 1
+
+
+class TestBufferAccounting:
+    def test_buffer_bytes_tracked(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=10, msg_id=1, size=500))
+        receiver.on_data_packet(data_packet(ts=20, msg_id=2, size=300))
+        assert receiver.buffer_bytes == 800
+        assert receiver.max_buffer_bytes == 800
+        receiver.flush(15, 0)
+        assert receiver.buffer_bytes == 300
+        assert receiver.max_buffer_bytes == 800

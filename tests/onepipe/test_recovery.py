@@ -1,0 +1,108 @@
+"""Tests for receiver recovery (paper §5.2, Receiver Recovery)."""
+
+import pytest
+
+from repro.net import FailureInjector
+from repro.onepipe import OnePipeCluster
+from repro.sim import Simulator
+
+from tests.onepipe.conftest import Recorder
+
+
+def run_cable_cut_scenario(seed=41, cut_at=200_000, recover_at=1_200_000):
+    """h3's NIC cable is cut (the host itself keeps its buffers); the
+    system declares its process failed and moves on; later the cable is
+    restored and the process runs recovery."""
+    sim = Simulator(seed=seed)
+    cluster = OnePipeCluster(sim, n_processes=8)
+    rec = Recorder(cluster)
+    injector = FailureInjector(cluster.topology)
+
+    def traffic(r):
+        for s in range(8):
+            ep = cluster.endpoint(s)
+            if ep.agent.host.failed or ep.closed:
+                continue
+            if ep.host_id == "h3" and sim.now >= cut_at:
+                continue  # its sends would go nowhere
+            entries = [(d, f"r{r}s{s}") for d in range(8) if d != s]
+            ep.reliable_send(entries)
+
+    for r in range(40):
+        sim.schedule(r * 10_000, traffic, r)
+    injector.cut_host_cable("h3", at=cut_at)
+    injector.recover_host_cable("h3", at=recover_at)
+    sim.run(until=recover_at)
+    return sim, cluster, rec, injector
+
+
+def test_cut_process_declared_failed():
+    sim, cluster, rec, injector = run_cable_cut_scenario()
+    assert 3 in cluster.controller.failed_procs
+
+
+def test_recovery_delivers_consistently_with_correct_receivers():
+    sim, cluster, rec, injector = run_cable_cut_scenario()
+    delivered_before = len(rec.deliveries[3])
+    recovered = []
+    cluster.endpoint(3).recover().add_callback(
+        lambda f: recovered.append(f.value)
+    )
+    sim.run(until=sim.now + 500_000)
+    assert len(recovered) == 1
+    assert len(rec.deliveries[3]) == delivered_before + recovered[0]
+    # Consistency: everything h3 delivered must also have been
+    # delivered by the other receivers of the same scatterings —
+    # i.e. h3's delivered set is a subset of the union observed at the
+    # correct receivers (its stream simply stops at the failure point).
+    correct_msgs = set()
+    for i in range(8):
+        if i == 3:
+            continue
+        for m in rec.deliveries[i]:
+            correct_msgs.add((m.src, m.payload))
+    for m in rec.deliveries[3]:
+        if m.src == 3:
+            continue
+        assert (m.src, m.payload) in correct_msgs
+    # And order still holds.
+    keys = [(m.ts, m.src) for m in rec.deliveries[3]]
+    assert keys == sorted(keys)
+
+
+def test_recovery_discards_beyond_failure_timestamps():
+    sim, cluster, rec, injector = run_cable_cut_scenario()
+    cluster.endpoint(3).recover()
+    sim.run(until=sim.now + 500_000)
+    failure_ts = cluster.controller.failed_procs
+    for m in rec.deliveries[3]:
+        if m.src in failure_ts:
+            assert m.ts < failure_ts[m.src]
+
+
+def test_recovered_endpoint_cannot_send():
+    sim, cluster, rec, injector = run_cable_cut_scenario()
+    ep = cluster.endpoint(3)
+    ep.recover()
+    sim.run(until=sim.now + 500_000)
+    with pytest.raises(RuntimeError):
+        ep.reliable_send([(0, "ghost")])
+
+
+def test_rejoin_as_new_process():
+    sim, cluster, rec, injector = run_cable_cut_scenario()
+    cluster.endpoint(3).recover()
+    sim.run(until=sim.now + 500_000)
+    fresh = cluster.add_endpoint("h3", proc_id=100)
+    got = []
+    fresh.on_recv(got.append)
+    cluster.endpoint(0).reliable_send([(100, "welcome back")])
+    sim.run(until=sim.now + 1_000_000)
+    assert [m.payload for m in got] == ["welcome back"]
+
+
+def test_recovery_without_controller_rejected():
+    sim = Simulator(seed=5)
+    cluster = OnePipeCluster(sim, n_processes=2, enable_controller=False)
+    with pytest.raises(RuntimeError):
+        cluster.endpoint(0).recover()

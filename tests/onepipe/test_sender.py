@@ -1,0 +1,113 @@
+"""Unit tests for the sender data path: windows, credits, commit barrier."""
+
+import pytest
+
+from repro.net.transport import TransportParams
+from repro.onepipe import OnePipeCluster, OnePipeConfig
+from repro.sim import Simulator
+
+
+def make_pair(seed=1, **config_overrides):
+    sim = Simulator(seed=seed)
+    config = OnePipeConfig(**config_overrides) if config_overrides else None
+    cluster = OnePipeCluster(sim, n_processes=4, config=config)
+    return sim, cluster
+
+
+class TestScatteringCredits:
+    def test_head_of_queue_reserves_incrementally(self):
+        """A large scattering blocked on credits holds what it has (the
+        anti-livelock rule of §6.1) and launches once enough frees."""
+        sim, cluster = make_pair(
+            transport=TransportParams(init_cwnd=4.0, receive_window=4)
+        )
+        sender = cluster.endpoint(0).sender
+        # Occupy the window to dst 1 with an in-flight scattering.
+        first = cluster.endpoint(0).unreliable_send(
+            [(1, "x", 4 * 1024)]  # 4 fragments = full window
+        )
+        # A big scattering that needs the whole window again queues.
+        second = cluster.endpoint(0).unreliable_send([(1, "y", 4 * 1024)])
+        assert second is not None
+        assert len(sender.wait_queue) == 1
+        head = sender.wait_queue[0]
+        sim.run(until=300_000)
+        # ACKs freed credits; the head eventually launched.
+        assert len(sender.wait_queue) == 0
+        assert head.dispatched
+
+    def test_small_scattering_overtakes_blocked_head(self):
+        """Later scatterings to *other* destinations may pass a blocked
+        head (out-of-order dispatch is allowed; §6.1)."""
+        sim, cluster = make_pair(
+            transport=TransportParams(init_cwnd=2.0, receive_window=2)
+        )
+        ep = cluster.endpoint(0)
+        deliveries = []
+        for i in (1, 2, 3):
+            cluster.endpoint(i).on_recv(
+                lambda m, i=i: deliveries.append((i, m.payload))
+            )
+        ep.unreliable_send([(1, "fill", 2 * 1024)])  # fills window to 1
+        big = ep.unreliable_send([(1, "blocked", 2 * 1024)])  # queues
+        small = ep.unreliable_send([(2, "overtaker")])  # different dst
+        sim.run(until=5_000)
+        assert small.dispatched  # went out before the blocked head
+        sim.run(until=500_000)
+        assert big.dispatched  # and the head still completed
+
+
+class TestCommitBarrier:
+    def test_commit_barrier_tracks_oldest_unacked(self):
+        sim, cluster = make_pair()
+        ep = cluster.endpoint(0)
+        sender = ep.sender
+        clock = ep.agent.clock
+        # Block ACKs from dst 1 so a reliable message stays unACKed.
+        cluster.topology.link("tor0.0.down", "h0").fail()
+        scattering = ep.reliable_send([(1, "pinned")])
+        sim.run(until=50_000)
+        assert scattering.ts is not None
+        assert sender.commit_barrier_value(clock.now()) <= scattering.ts
+        # Restore the path; after the (re)transmission is ACKed the
+        # barrier returns to the clock.
+        cluster.topology.link("tor0.0.down", "h0").recover()
+        sim.run(until=500_000)
+        assert scattering.all_acked()
+        assert sender.commit_barrier_value(clock.now()) == clock.now()
+
+    def test_commit_barrier_is_clock_when_idle(self):
+        sim, cluster = make_pair()
+        ep = cluster.endpoint(0)
+        sim.run(until=10_000)
+        now = ep.agent.clock.now()
+        assert ep.sender.commit_barrier_value(now) == now
+
+
+class TestReliableCompletion:
+    def test_completion_future_resolves_true_on_all_acks(self):
+        sim, cluster = make_pair()
+        scattering = cluster.endpoint(0).reliable_send([(1, "a"), (2, "b")])
+        sim.run(until=200_000)
+        assert scattering.completed.value is True
+        assert scattering.n_acked == 2
+
+    def test_best_effort_completion_means_dispatched(self):
+        sim, cluster = make_pair()
+        scattering = cluster.endpoint(0).unreliable_send([(1, "a")])
+        sim.run(until=5_000)
+        assert scattering.completed.done
+        assert scattering.completed.value is True
+
+
+class TestStatistics:
+    def test_counters(self):
+        sim, cluster = make_pair()
+        ep = cluster.endpoint(0)
+        for k in range(5):
+            ep.unreliable_send([(1, k), (2, k)])
+        sim.run(until=200_000)
+        assert ep.sender.scatterings_sent == 5
+        assert ep.sender.messages_sent == 10
+        assert ep.sender.retransmissions == 0
+        assert ep.sender.send_failures == 0

@@ -1,0 +1,59 @@
+"""Tests for 48-bit wraparound timestamps."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.onepipe.timestamps import (
+    TS_HALF,
+    TS_MODULUS,
+    delivery_key,
+    ts_after,
+    ts_max,
+    wrap48,
+)
+
+
+def test_wrap48_truncates():
+    assert wrap48(TS_MODULUS) == 0
+    assert wrap48(TS_MODULUS + 5) == 5
+    assert wrap48(123) == 123
+
+
+def test_ts_after_simple():
+    assert ts_after(100, 50)
+    assert not ts_after(50, 100)
+    assert not ts_after(77, 77)
+
+
+def test_ts_after_wraparound():
+    old = TS_MODULUS - 10
+    new = 10  # wrapped past zero
+    assert ts_after(new, old)
+    assert not ts_after(old, new)
+
+
+def test_ts_max():
+    assert ts_max(5, 9) == 9
+    assert ts_max(9, 5) == 9
+    assert ts_max(10, TS_MODULUS - 10) == 10  # wrapped
+
+
+def test_delivery_key_orders_by_ts_then_sender():
+    assert delivery_key(5, 1, 0) < delivery_key(6, 0, 0)
+    assert delivery_key(5, 1, 0) < delivery_key(5, 2, 0)
+    assert delivery_key(5, 1, 0) < delivery_key(5, 1, 1)
+
+
+@given(
+    base=st.integers(min_value=0, max_value=TS_MODULUS - 1),
+    delta=st.integers(min_value=1, max_value=TS_HALF - 2),
+)
+def test_ts_after_antisymmetric_within_half_window(base, delta):
+    later = wrap48(base + delta)
+    assert ts_after(later, base)
+    assert not ts_after(base, later)
+
+
+@given(st.integers(min_value=0, max_value=TS_MODULUS - 1))
+def test_ts_after_irreflexive(ts):
+    assert not ts_after(ts, ts)

@@ -1,0 +1,216 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(300, fired.append, "c")
+    sim.schedule(100, fired.append, "a")
+    sim.schedule(200, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 300
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(50, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(123, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 123
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_run_until_bound_is_inclusive_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, "a")
+    sim.schedule(200, fired.append, "b")
+    processed = sim.run(until=100)
+    assert fired == ["a"]
+    assert processed == 1
+    assert sim.now == 100
+    sim.run(until=150)
+    assert fired == ["a"]
+    assert sim.now == 150  # clock advances to the bound even with no events
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_for_relative_duration():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, 1)
+    sim.run_for(5)
+    assert sim.now == 5 and fired == []
+    sim.run_for(5)
+    assert sim.now == 10 and fired == [1]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10, fired.append, "x")
+    sim.schedule(20, fired.append, "y")
+    handle.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(10, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 30
+
+
+def test_call_soon_runs_after_current_event():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.call_soon(order.append, "soon")
+        order.append("still-first")
+
+    sim.schedule(5, first)
+    sim.schedule(5, order.append, "second")
+    sim.run()
+    assert order == ["first", "still-first", "second", "soon"]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, fired.append, "a")
+    sim.schedule(2, sim.stop)
+    sim.schedule(3, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(1, loop)
+
+    sim.schedule(0, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_step_processes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, fired.append, 1)
+    sim.schedule(6, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert fired == [1, 2]
+    assert sim.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    h = sim.schedule(5, lambda: None)
+    sim.schedule(9, lambda: None)
+    assert sim.peek_time() == 5
+    h.cancel()
+    assert sim.peek_time() == 9
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+def test_periodic_task_aligned_and_cancellable():
+    sim = Simulator()
+    fired = []
+    sim.schedule(7, lambda: None)
+    sim.run()  # now = 7
+    task = sim.every(10, lambda: fired.append(sim.now))
+    sim.run(until=45)
+    assert fired == [10, 20, 30, 40]  # aligned to multiples of the interval
+    task.cancel()
+    sim.run(until=100)
+    assert fired == [10, 20, 30, 40]
+
+
+def test_periodic_task_phase():
+    sim = Simulator()
+    fired = []
+    sim.every(10, lambda: fired.append(sim.now), phase=3)
+    sim.run(until=35)
+    assert fired == [3, 13, 23, 33]
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    sim_a = Simulator(seed=42)
+    sim_b = Simulator(seed=42)
+    assert [sim_a.rng("x").random() for _ in range(5)] == [
+        sim_b.rng("x").random() for _ in range(5)
+    ]
+    # Consuming one stream must not perturb another.
+    sim_c = Simulator(seed=42)
+    sim_c.rng("other").random()
+    assert sim_c.rng("x").random() == Simulator(seed=42).rng("x").random()
+
+
+def test_rng_streams_differ_by_seed_and_name():
+    assert (
+        Simulator(seed=1).rng("x").random()
+        != Simulator(seed=2).rng("x").random()
+    )
+    sim = Simulator(seed=1)
+    assert sim.rng("x").random() != sim.rng("y").random()

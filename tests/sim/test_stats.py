@@ -1,0 +1,133 @@
+"""Tests for the statistics collectors."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import Counter, Histogram, TimeSeries, WindowedRate
+
+
+class TestHistogram:
+    def test_mean_std(self):
+        h = Histogram()
+        h.extend([2, 4, 4, 4, 5, 5, 7, 9])
+        assert h.mean() == 5.0
+        assert math.isclose(h.std(), 2.138, rel_tol=1e-3)
+
+    def test_percentiles(self):
+        h = Histogram()
+        h.extend(range(1, 101))
+        assert h.percentile(50) == 50
+        assert h.percentile(95) == 95
+        assert h.percentile(99) == 99
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100
+
+    def test_unsorted_insertion_still_correct(self):
+        h = Histogram()
+        h.extend([5, 1, 9, 3, 7])
+        assert h.min() == 1
+        assert h.max() == 9
+        assert h.percentile(50) == 5
+
+    def test_empty_raises(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.mean()
+        with pytest.raises(ValueError):
+            h.percentile(50)
+
+    def test_bad_percentile_rejected(self):
+        h = Histogram()
+        h.add(1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_summary_keys(self):
+        h = Histogram()
+        h.extend([1, 2, 3])
+        summary = h.summary()
+        assert set(summary) == {
+            "count", "mean", "std", "min", "p5", "p50", "p95", "p99", "max",
+        }
+        assert summary["count"] == 3
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1))
+    def test_percentile_bounds_property(self, values):
+        h = Histogram()
+        h.extend(values)
+        assert h.min() <= h.percentile(50) <= h.max()
+        # Mean can exceed the bounds by float rounding; allow an epsilon.
+        eps = 1e-6 * max(1.0, abs(h.min()), abs(h.max()))
+        assert h.min() - eps <= h.mean() <= h.max() + eps
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1))
+    def test_percentile_monotone_property(self, values):
+        h = Histogram()
+        h.extend(values)
+        ps = [h.percentile(p) for p in (5, 25, 50, 75, 95)]
+        assert ps == sorted(ps)
+
+
+class TestCounter:
+    def test_incr_and_get(self):
+        c = Counter()
+        c.incr("msgs")
+        c.incr("msgs", 4)
+        assert c.get("msgs") == 5
+        assert c.get("unknown") == 0
+
+    def test_rate(self):
+        c = Counter()
+        c.incr("msgs", 1000)
+        assert c.rate("msgs", 1_000_000_000) == 1000.0
+        with pytest.raises(ValueError):
+            c.rate("msgs", 0)
+
+    def test_as_dict_is_a_copy(self):
+        c = Counter()
+        c.incr("a")
+        d = c.as_dict()
+        d["a"] = 99
+        assert c.get("a") == 1
+
+
+class TestTimeSeries:
+    def test_max_and_last(self):
+        ts = TimeSeries()
+        ts.record(0, 1.0)
+        ts.record(10, 5.0)
+        ts.record(20, 2.0)
+        assert ts.max_value() == 5.0
+        assert ts.last_value() == 2.0
+        assert len(ts) == 3
+
+    def test_time_average_step(self):
+        ts = TimeSeries()
+        ts.record(0, 0.0)
+        ts.record(10, 10.0)  # value 0 held for 10ns
+        ts.record(20, 0.0)  # value 10 held for 10ns
+        assert ts.time_average() == 5.0
+
+    def test_time_average_needs_two_points(self):
+        ts = TimeSeries()
+        ts.record(0, 1.0)
+        with pytest.raises(ValueError):
+            ts.time_average()
+
+
+class TestWindowedRate:
+    def test_ignores_warmup(self):
+        rate = WindowedRate(start_ns=1000)
+        rate.record(500)
+        rate.record(1500)
+        rate.record(2000)
+        assert rate.count == 2
+        assert rate.per_second(2000) == 2 * 1e9 / 1000
+
+    def test_window_not_started_raises(self):
+        rate = WindowedRate(start_ns=1000)
+        with pytest.raises(ValueError):
+            rate.per_second(1000)

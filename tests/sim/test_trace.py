@@ -1,0 +1,51 @@
+"""Tests for the structured tracer."""
+
+from repro.sim.trace import Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.trace(10, "link", "send", size=100)
+    assert tracer.records == []
+
+
+def test_enabled_tracer_records():
+    tracer = Tracer(enabled=True)
+    tracer.trace(10, "link", "send", size=100)
+    tracer.trace(20, "switch", "forward")
+    assert tracer.records == [
+        (10, "link", "send", {"size": 100}),
+        (20, "switch", "forward", {}),
+    ]
+
+
+def test_filter_by_component_and_event():
+    tracer = Tracer(enabled=True)
+    tracer.trace(1, "a", "x")
+    tracer.trace(2, "a", "y")
+    tracer.trace(3, "b", "x")
+    assert len(tracer.filter(component="a")) == 2
+    assert len(tracer.filter(event="x")) == 2
+    assert len(tracer.filter(component="a", event="x")) == 1
+
+
+def test_limit_caps_records():
+    tracer = Tracer(enabled=True, limit=2)
+    for i in range(5):
+        tracer.trace(i, "c", "e")
+    assert len(tracer.records) == 2
+
+
+def test_clear():
+    tracer = Tracer(enabled=True)
+    tracer.trace(1, "a", "x")
+    tracer.clear()
+    assert tracer.records == []
+
+
+def test_import_package_api():
+    import repro
+
+    assert repro.__version__
+    assert hasattr(repro, "OnePipeCluster")
+    assert hasattr(repro, "Simulator")

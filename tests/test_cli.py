@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_topology(capsys):
+    assert main(["topology"]) == 0
+    out = capsys.readouterr().out
+    assert "hosts: 32" in out
+    assert "tor0.0.up" in out
+
+
+def test_latency_best_effort(capsys):
+    assert main(["latency", "--processes", "8", "--count", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "best-effort 1Pipe" in out
+    assert "mean" in out
+
+
+def test_latency_reliable(capsys):
+    assert main(
+        ["latency", "--processes", "4", "--count", "5", "--reliable"]
+    ) == 0
+    assert "reliable 1Pipe" in capsys.readouterr().out
+
+
+def test_broadcast_onepipe(capsys):
+    assert main(["broadcast", "--processes", "4"]) == 0
+    assert "1pipe" in capsys.readouterr().out
+
+
+def test_broadcast_token(capsys):
+    assert main(["broadcast", "--processes", "4", "--system", "token"]) == 0
+    assert "token" in capsys.readouterr().out
+
+
+def test_failure_host(capsys):
+    assert main(["failure", "--crash", "h3"]) == 0
+    out = capsys.readouterr().out
+    assert "failed processes: [3]" in out
+    assert "recovery" in out
+
+
+def test_snapshot(capsys):
+    assert main(["snapshot"]) == 0
+    assert "consistent!" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
