@@ -1,0 +1,285 @@
+"""Seeded chaos campaigns over the 1Pipe cluster.
+
+A campaign is N independent *episodes*.  Episode ``i`` builds a fresh
+simulator from the deterministic episode seed ``seed * 1_000_003 + i``,
+brings up a full testbed cluster in incarnation ``MODES[i % 3]``,
+attaches an :class:`~repro.chaos.monitor.InvariantMonitor`, arms a
+seeded :class:`~repro.chaos.schedule.ChaosSchedule`, and drives random
+scatter traffic through the fault window plus a drain period.  At the
+end the monitor's final checks run and the episode's outcome (faults,
+violations, delivery/recovery statistics) is folded into a JSON report.
+
+Everything is derived from named :meth:`Simulator.rng` streams, so a
+campaign report is a pure function of ``(seed, episodes, knobs)`` —
+running the same command twice produces byte-identical JSON, and any
+violation can be replayed from the episode seed it names.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.chaos.monitor import InvariantMonitor
+from repro.chaos.schedule import ChaosInjector, ChaosSchedule
+from repro.consensus.raft import RaftGroup, RaftReplicator
+from repro.net.topology import build_testbed
+from repro.onepipe import OnePipeCluster, OnePipeConfig
+from repro.onepipe.config import MODES
+from repro.sim import Simulator
+
+# Sync every 250 us instead of the paper's 125 ms so clock outages and
+# step faults interact with multiple sync epochs inside an episode.
+EPISODE_CLOCK_SYNC_NS = 250_000
+RAFT_ELECTION_WARMUP_NS = 2_000_000
+
+
+class TrafficDriver:
+    """Deterministic random scatter traffic from a named rng stream.
+
+    Every ``interval_ns`` a few live processes each send one scattering
+    (reliable or best-effort, coin-flipped) to distinct destinations.
+    Processes the controller has declared failed stop sending — the
+    failure callback kills the real application too (§5.2 Callback).
+    Payloads embed (episode, sender, sequence, destination) so they are
+    globally unique, which the monitor's FIFO and exactly-once checks
+    rely on.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        rng,
+        episode: int,
+        start_ns: int,
+        stop_ns: int,
+        interval_ns: int = 25_000,
+        senders_per_round: int = 3,
+        max_fanout: int = 3,
+    ) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.rng = rng
+        self.episode = episode
+        self.stop_ns = stop_ns
+        self.interval_ns = interval_ns
+        self.senders_per_round = senders_per_round
+        self.max_fanout = max_fanout
+        self._seq = 0
+        self.scatterings_sent = 0
+        self.sim.schedule_at(start_ns, self._round)
+
+    def _round(self) -> None:
+        if self.sim.now >= self.stop_ns:
+            return
+        cluster = self.cluster
+        n = cluster.n_processes
+        failed = set()
+        if cluster.controller is not None:
+            failed.update(cluster.controller.failed_procs)
+        alive = [
+            i for i in range(n)
+            if i not in failed
+            and not cluster.endpoint(i).closed
+            and not cluster.endpoint(i).agent.host.failed
+        ]
+        senders = self.rng.sample(
+            alive, min(self.senders_per_round, len(alive))
+        )
+        for src in senders:
+            fanout = self.rng.randint(2, self.max_fanout)
+            peers = [d for d in range(n) if d != src]
+            dsts = self.rng.sample(peers, min(fanout, len(peers)))
+            self._seq += 1
+            entries = [
+                (dst, f"e{self.episode}.p{src}.q{self._seq}.d{dst}")
+                for dst in dsts
+            ]
+            endpoint = cluster.endpoint(src)
+            if self.rng.random() < 0.5:
+                endpoint.reliable_send(entries)
+            else:
+                endpoint.unreliable_send(entries)
+            self.scatterings_sent += 1
+        self.sim.schedule(self.interval_ns, self._round)
+
+
+class CampaignRunner:
+    """Run a seeded chaos campaign and produce a deterministic report."""
+
+    def __init__(
+        self,
+        seed: int,
+        episodes: int,
+        modes: Sequence[str] = MODES,
+        n_processes: int = 16,
+        horizon_ns: int = 1_500_000,
+        drain_ns: int = 2_500_000,
+        faults_per_episode: int = 4,
+        use_raft: bool = False,
+        progress=None,
+    ) -> None:
+        self.seed = seed
+        self.episodes = episodes
+        self.modes = tuple(modes)
+        self.n_processes = n_processes
+        self.horizon_ns = horizon_ns
+        self.drain_ns = drain_ns
+        self.faults_per_episode = faults_per_episode
+        self.use_raft = use_raft
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def episode_seed(self, index: int) -> int:
+        return self.seed * 1_000_003 + index
+
+    def run_episode(self, index: int) -> Dict[str, Any]:
+        episode_seed = self.episode_seed(index)
+        mode = self.modes[index % len(self.modes)]
+        sim = Simulator(seed=episode_seed)
+
+        raft_group = None
+        replicator = None
+        if self.use_raft:
+            raft_group = RaftGroup(sim, n_nodes=3)
+            sim.run(until=RAFT_ELECTION_WARMUP_NS)
+            replicator = RaftReplicator(raft_group)
+
+        topology = build_testbed(
+            sim, clock_sync_interval_ns=EPISODE_CLOCK_SYNC_NS
+        )
+        cluster = OnePipeCluster(
+            sim,
+            n_processes=self.n_processes,
+            config=OnePipeConfig(mode=mode),
+            topology=topology,
+            replicator=replicator,
+        )
+        monitor = InvariantMonitor(
+            cluster, seed=episode_seed, episode=index, mode=mode
+        )
+        schedule = ChaosSchedule.generate(
+            sim.rng(f"chaos.schedule.{index}"),
+            topology,
+            self.horizon_ns,
+            n_faults=self.faults_per_episode,
+            allow_partition=self.use_raft,
+        )
+        injector = ChaosInjector(cluster, raft_group=raft_group)
+        injector.apply(schedule)
+        TrafficDriver(
+            cluster,
+            sim.rng(f"chaos.traffic.{index}"),
+            episode=index,
+            start_ns=sim.now + 100_000,
+            stop_ns=sim.now + self.horizon_ns,
+        )
+        sim.run(until=sim.now + self.horizon_ns + self.drain_ns)
+        monitor.final_check()
+        return self._episode_report(
+            index, mode, episode_seed, cluster, monitor, schedule
+        )
+
+    def _episode_report(
+        self, index, mode, episode_seed, cluster, monitor, schedule
+    ) -> Dict[str, Any]:
+        topology = cluster.topology
+        controller = cluster.controller
+        receivers = [
+            cluster.endpoint(i).receiver
+            for i in range(cluster.n_processes)
+        ]
+        recoveries: List[Dict[str, Any]] = []
+        failed_procs: List[List[int]] = []
+        if controller is not None:
+            failed_procs = [
+                [proc, ts] for proc, ts in sorted(controller.failed_procs.items())
+            ]
+            for record in controller.recoveries:
+                detect = (
+                    record.determine_time - record.first_report_time
+                    if record.determine_time is not None else None
+                )
+                total = (
+                    record.resume_time - record.first_report_time
+                    if record.resume_time is not None else None
+                )
+                recoveries.append({
+                    "detection_ns": detect,
+                    "recovery_ns": total,
+                    "failed_procs": sorted(p for p, _ts in record.failed_procs),
+                    "dead_links": len(record.dead_links),
+                })
+        return {
+            "episode": index,
+            "mode": mode,
+            "seed": episode_seed,
+            "faults": schedule.to_list(),
+            "violations": [v.to_dict() for v in monitor.violations],
+            "scatterings_sent": monitor.total_sent_scatterings,
+            "messages_sent": monitor.total_sent_messages,
+            "messages_delivered": monitor.total_delivered(),
+            "discarded_on_failure": sum(
+                r.discarded_on_failure for r in receivers
+            ),
+            "duplicates_suppressed": sum(r.duplicates for r in receivers),
+            "failed_procs": failed_procs,
+            "recoveries": recoveries,
+            "forwarded_messages": (
+                controller.forwarded_messages if controller else 0
+            ),
+            "burst_drops": sum(
+                link.dropped_burst for link in topology.links.values()
+            ),
+            "clock": {
+                "outages": topology.clock_sync.sync_outages,
+                "steps": topology.clock_sync.clock_steps,
+                "syncs_skipped": topology.clock_sync.syncs_skipped,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, Any]:
+        episode_reports = []
+        for index in range(self.episodes):
+            episode_report = self.run_episode(index)
+            episode_reports.append(episode_report)
+            if self.progress is not None:
+                self.progress(episode_report)
+        by_invariant: Dict[str, int] = {}
+        for report in episode_reports:
+            for violation in report["violations"]:
+                name = violation["invariant"]
+                by_invariant[name] = by_invariant.get(name, 0) + 1
+        total_violations = sum(by_invariant.values())
+        return {
+            "campaign": {
+                "seed": self.seed,
+                "episodes": self.episodes,
+                "modes": list(self.modes),
+                "n_processes": self.n_processes,
+                "horizon_ns": self.horizon_ns,
+                "drain_ns": self.drain_ns,
+                "faults_per_episode": self.faults_per_episode,
+                "use_raft": self.use_raft,
+            },
+            "episode_reports": episode_reports,
+            "total_violations": total_violations,
+            "violations_by_invariant": by_invariant,
+            "messages_delivered": sum(
+                r["messages_delivered"] for r in episode_reports
+            ),
+            "messages_sent": sum(r["messages_sent"] for r in episode_reports),
+            "ok": total_violations == 0,
+        }
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write a campaign report as stable (byte-identical) JSON."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,377 @@
+"""Seeded gray-failure schedules and their injector.
+
+A :class:`ChaosSchedule` is a deterministic list of :class:`FaultEvent`
+drawn from a named randomness stream (see :mod:`repro.sim.randomness`),
+so a (seed, episode) pair fully determines which components fail, when,
+and how.  :class:`ChaosInjector` arms a schedule against a built
+cluster, mapping each event kind onto the fault models of the lower
+layers:
+
+==================== ====================================================
+kind                 mechanism
+==================== ====================================================
+``burst_loss``       Gilbert–Elliott chain on one link
+                     (:meth:`repro.net.link.Link.set_burst_loss`)
+``degrade_link``     bandwidth/extra-delay multipliers on one link
+``link_flap``        one *direction* of a fabric link down, then back —
+                     the asymmetric failure liveness must catch
+``cable_flap``       both directions of a host cable down, then back
+``switch_flap``      crash + recover a physical spine/core switch
+``crash_host``       permanent crash-stop of one host
+``straggler``        slowed beacon processing / pipeline on one switch
+``clock_step``       step one host clock forward or backward
+``clock_outage``     suppress clock-sync epochs for a window
+``clock_drift``      thermal drift excursion on one host oscillator
+``ctrl_partition``   isolate the Raft leader of the controller group
+==================== ====================================================
+
+Every kind either reverts automatically after ``duration_ns`` or (for
+``crash_host`` and ``clock_step``) is a permanent step the protocol must
+absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.net.failures import FailureInjector
+
+# Default mix: (kind, weight).  Crashes are deliberately rarer than gray
+# faults — the paper already covers crash-stop; bursts, degradation, and
+# stragglers are what this harness adds.
+DEFAULT_FAULT_WEIGHTS = (
+    ("burst_loss", 3),
+    ("degrade_link", 2),
+    ("link_flap", 2),
+    ("straggler", 2),
+    ("clock_step", 2),
+    ("cable_flap", 1),
+    ("switch_flap", 1),
+    ("crash_host", 1),
+    ("clock_outage", 1),
+    ("clock_drift", 1),
+)
+
+# At most this many of each disruptive kind per episode, so the cluster
+# keeps a correct majority to check invariants against.
+_SINGLETON_KINDS = frozenset({"switch_flap", "crash_host", "cable_flap",
+                              "ctrl_partition"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: what, where, when, and for how long."""
+
+    at: int
+    kind: str
+    target: str = ""
+    duration_ns: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "target": self.target,
+            "duration_ns": self.duration_ns,
+            "params": dict(sorted(self.params.items())),
+        }
+
+
+class ChaosSchedule:
+    """A deterministic, seeded list of fault events."""
+
+    def __init__(self, events: List[FaultEvent]) -> None:
+        self.events = sorted(events, key=lambda e: (e.at, e.kind, e.target))
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        return [event.to_dict() for event in self.events]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        rng,
+        topology,
+        horizon_ns: int,
+        n_faults: int = 4,
+        weights=DEFAULT_FAULT_WEIGHTS,
+        allow_partition: bool = False,
+    ) -> "ChaosSchedule":
+        """Draw ``n_faults`` events from ``rng`` (a named stream).
+
+        Faults start inside [10%, 70%] of the horizon and revert before
+        ~95% of it, leaving the tail of the episode (plus the campaign's
+        drain time) for the system to stabilize so end-of-episode
+        invariant checks are not racing live faults.
+        """
+        hosts = sorted(h.node_id for h in topology.hosts)
+        logical_switches = sorted(topology.switches)
+        fabric_switches = sorted(
+            {
+                name.rsplit(".up", 1)[0].rsplit(".down", 1)[0]
+                for name in logical_switches
+                if not name.startswith("tor")
+            }
+        )
+        host_set = set(hosts)
+        fabric_links = sorted(
+            link.name
+            for link in topology.external_links()
+            if link.src.node_id not in host_set
+            and link.dst.node_id not in host_set
+        )
+        all_links = sorted(
+            link.name for link in topology.external_links()
+        )
+        kinds = list(weights)
+        if allow_partition:
+            kinds.append(("ctrl_partition", 1))
+        population = [kind for kind, _w in kinds]
+        kind_weights = [w for _kind, w in kinds]
+
+        events: List[FaultEvent] = []
+        used_singletons: set = set()
+        lo, hi = int(horizon_ns * 0.10), int(horizon_ns * 0.70)
+        for _ in range(n_faults):
+            kind = rng.choices(population, weights=kind_weights, k=1)[0]
+            if kind in _SINGLETON_KINDS:
+                if kind in used_singletons:
+                    kind = "burst_loss"  # deterministic fallback
+                else:
+                    used_singletons.add(kind)
+            at = rng.randrange(lo, hi)
+            max_duration = max(10_000, int(horizon_ns * 0.95) - at)
+
+            if kind == "burst_loss":
+                duration = min(rng.randrange(30_000, 150_000), max_duration)
+                events.append(FaultEvent(
+                    at, kind, rng.choice(all_links), duration,
+                    {
+                        "p_good_to_bad": round(rng.uniform(0.05, 0.3), 3),
+                        "p_bad_to_good": round(rng.uniform(0.1, 0.5), 3),
+                        "loss_bad": round(rng.uniform(0.7, 1.0), 3),
+                    },
+                ))
+            elif kind == "degrade_link":
+                duration = min(rng.randrange(100_000, 400_000), max_duration)
+                events.append(FaultEvent(
+                    at, kind, rng.choice(all_links), duration,
+                    {
+                        "bandwidth_factor": round(rng.uniform(0.05, 0.5), 3),
+                        "extra_delay_ns": rng.randrange(1_000, 20_000),
+                    },
+                ))
+            elif kind == "link_flap":
+                duration = min(rng.randrange(50_000, 300_000), max_duration)
+                target = rng.choice(fabric_links or all_links)
+                events.append(FaultEvent(at, kind, target, duration))
+            elif kind == "cable_flap":
+                duration = min(rng.randrange(50_000, 200_000), max_duration)
+                events.append(FaultEvent(at, kind, rng.choice(hosts), duration))
+            elif kind == "switch_flap":
+                duration = min(rng.randrange(100_000, 300_000), max_duration)
+                target = rng.choice(fabric_switches or hosts)
+                events.append(FaultEvent(at, kind, target, duration))
+            elif kind == "crash_host":
+                events.append(FaultEvent(at, kind, rng.choice(hosts)))
+            elif kind == "straggler":
+                duration = min(rng.randrange(100_000, 400_000), max_duration)
+                events.append(FaultEvent(
+                    at, kind, rng.choice(logical_switches), duration,
+                    {"factor": round(rng.uniform(2.0, 6.0), 2)},
+                ))
+            elif kind == "clock_step":
+                step = rng.randrange(5_000, 50_000)
+                if rng.random() < 0.4:
+                    step = -step
+                events.append(FaultEvent(
+                    at, kind, rng.choice(hosts), 0, {"step_ns": step},
+                ))
+            elif kind == "clock_outage":
+                duration = min(rng.randrange(300_000, 1_000_000), max_duration)
+                events.append(FaultEvent(at, kind, "", duration))
+            elif kind == "clock_drift":
+                duration = min(rng.randrange(200_000, 600_000), max_duration)
+                ppm = rng.randrange(50, 200)
+                if rng.random() < 0.5:
+                    ppm = -ppm
+                events.append(FaultEvent(
+                    at, kind, rng.choice(hosts), duration,
+                    {"drift_ppm": ppm},
+                ))
+            elif kind == "ctrl_partition":
+                duration = min(rng.randrange(100_000, 400_000), max_duration)
+                events.append(FaultEvent(at, kind, "raft-leader", duration))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown fault kind {kind!r}")
+        return cls(events)
+
+
+class ChaosInjector:
+    """Arm a :class:`ChaosSchedule` against a built cluster."""
+
+    def __init__(self, cluster, raft_group=None) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.topology = cluster.topology
+        self.raft_group = raft_group
+        self.failures = FailureInjector(cluster.topology)
+        self.log: List[tuple] = []  # (time, action, target)
+        self.armed: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    def apply(self, schedule: ChaosSchedule) -> None:
+        for event in schedule:
+            self._arm(event)
+
+    def _arm(self, event: FaultEvent) -> None:
+        self.armed.append(event)
+        kind = event.kind
+        handler = getattr(self, f"_start_{kind}", None)
+        if handler is None:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        # ``at`` is relative to arm time, so schedules compose with any
+        # amount of pre-run (e.g. Raft leader election before the
+        # cluster is built).
+        self.sim.schedule(event.at, handler, event)
+
+    def _note(self, action: str, target: str) -> None:
+        self.log.append((self.sim.now, action, target))
+
+    # ------------------------------------------------------------------
+    # Link-level gray failures
+    # ------------------------------------------------------------------
+    def _start_burst_loss(self, event: FaultEvent) -> None:
+        link = self.topology.links[event.target]
+        params = event.params
+        link.set_burst_loss(
+            params["p_good_to_bad"],
+            params["p_bad_to_good"],
+            loss_bad=params["loss_bad"],
+        )
+        self._note("burst_loss.start", event.target)
+        self.sim.schedule(event.duration_ns, self._stop_burst_loss, link,
+                          event.target)
+
+    def _stop_burst_loss(self, link, name: str) -> None:
+        link.clear_burst_loss()
+        self._note("burst_loss.stop", name)
+
+    def _start_degrade_link(self, event: FaultEvent) -> None:
+        link = self.topology.links[event.target]
+        link.set_degradation(
+            bandwidth_factor=event.params["bandwidth_factor"],
+            extra_delay_ns=event.params["extra_delay_ns"],
+        )
+        self._note("degrade.start", event.target)
+        self.sim.schedule(event.duration_ns, self._stop_degrade_link, link,
+                          event.target)
+
+    def _stop_degrade_link(self, link, name: str) -> None:
+        link.clear_degradation()
+        self._note("degrade.stop", name)
+
+    def _start_link_flap(self, event: FaultEvent) -> None:
+        link = self.topology.links[event.target]
+        link.fail()
+        self._note("link_flap.down", event.target)
+        self.sim.schedule(event.duration_ns, self._stop_link_flap, link,
+                          event.target)
+
+    def _stop_link_flap(self, link, name: str) -> None:
+        link.recover()
+        self._note("link_flap.up", name)
+
+    # ------------------------------------------------------------------
+    # Node-level failures (via the crash-stop injector)
+    # ------------------------------------------------------------------
+    def _start_cable_flap(self, event: FaultEvent) -> None:
+        self.failures._cut_host_cable(event.target)
+        self._note("cable_flap.down", event.target)
+        self.sim.schedule(event.duration_ns, self._stop_cable_flap,
+                          event.target)
+
+    def _stop_cable_flap(self, host_id: str) -> None:
+        self.failures._recover_host_cable(host_id)
+        self._note("cable_flap.up", host_id)
+
+    def _start_switch_flap(self, event: FaultEvent) -> None:
+        self.failures._crash_switch(event.target)
+        self._note("switch_flap.down", event.target)
+        self.sim.schedule(event.duration_ns, self._stop_switch_flap,
+                          event.target)
+
+    def _stop_switch_flap(self, switch_name: str) -> None:
+        self.failures._recover_switch(switch_name)
+        self._note("switch_flap.up", switch_name)
+
+    def _start_crash_host(self, event: FaultEvent) -> None:
+        self.failures._crash_host(event.target)
+        self._note("crash_host", event.target)
+
+    # ------------------------------------------------------------------
+    # Ordering-plane stragglers
+    # ------------------------------------------------------------------
+    def _start_straggler(self, event: FaultEvent) -> None:
+        engine = self.cluster.engines[event.target]
+        engine.set_straggler(event.params["factor"])
+        self._note("straggler.start", event.target)
+        self.sim.schedule(event.duration_ns, self._stop_straggler, engine,
+                          event.target)
+
+    def _stop_straggler(self, engine, switch_id: str) -> None:
+        engine.set_straggler(1.0)
+        self._note("straggler.stop", switch_id)
+
+    # ------------------------------------------------------------------
+    # Clock chaos
+    # ------------------------------------------------------------------
+    def _start_clock_step(self, event: FaultEvent) -> None:
+        self.topology.clock_sync.step_clock(
+            event.target, event.params["step_ns"]
+        )
+        self._note("clock_step", event.target)
+
+    def _start_clock_outage(self, event: FaultEvent) -> None:
+        self.topology.clock_sync.inject_outage(event.duration_ns)
+        self._note("clock_outage", f"{event.duration_ns}ns")
+
+    def _start_clock_drift(self, event: FaultEvent) -> None:
+        self.topology.clock_sync.set_drift(
+            event.target, event.params["drift_ppm"]
+        )
+        self._note("clock_drift.start", event.target)
+        self.sim.schedule(event.duration_ns, self._stop_clock_drift,
+                          event.target)
+
+    def _stop_clock_drift(self, host_id: str) -> None:
+        self.topology.clock_sync.set_drift(host_id, 0.0)
+        self._note("clock_drift.stop", host_id)
+
+    # ------------------------------------------------------------------
+    # Controller failover
+    # ------------------------------------------------------------------
+    def _start_ctrl_partition(self, event: FaultEvent) -> None:
+        group = self.raft_group
+        if group is None:
+            return  # no replicated controller in this episode
+        leader = group.leader()
+        if leader is None:
+            return
+        others = {n.node_id for n in group.nodes if n.node_id != leader.node_id}
+        group.network.partition({leader.node_id}, others)
+        self._note("ctrl_partition.start", f"leader={leader.node_id}")
+        self.sim.schedule(event.duration_ns, self._stop_ctrl_partition)
+
+    def _stop_ctrl_partition(self) -> None:
+        if self.raft_group is not None:
+            self.raft_group.network.heal()
+            self._note("ctrl_partition.stop", "")

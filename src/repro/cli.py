@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli failure --crash tor0.0
     python -m repro.cli topology
     python -m repro.cli snapshot
+    python -m repro.cli chaos --episodes 100 --seed 7
 
 Each subcommand builds the paper's 32-host testbed, runs a short
 deterministic simulation, and prints a summary.
@@ -183,6 +184,45 @@ def cmd_snapshot(args) -> int:
     return 0 if all(t == demo.total for t in totals) else 1
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos import CampaignRunner, write_report
+    from repro.onepipe.config import MODES
+
+    modes = MODES if args.mode == "all" else (args.mode,)
+    seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+
+    def progress(report):
+        n_viol = len(report["violations"])
+        status = "ok" if n_viol == 0 else f"{n_viol} VIOLATIONS"
+        print(f"episode {report['episode']:3d} mode={report['mode']:13s} "
+              f"seed={report['seed']} faults={len(report['faults'])} "
+              f"delivered={report['messages_delivered']} {status}")
+        for violation in report["violations"]:
+            print(f"  {violation['invariant']}: {violation['detail']} "
+                  f"(replay seed {violation['seed']})", file=sys.stderr)
+
+    runner = CampaignRunner(
+        seed=seed,
+        episodes=args.episodes,
+        modes=modes,
+        n_processes=args.processes,
+        faults_per_episode=args.faults,
+        use_raft=args.raft,
+        progress=progress,
+    )
+    report = runner.run()
+    write_report(report, args.out)
+    print(f"{args.episodes} episodes, "
+          f"{report['messages_delivered']} messages delivered, "
+          f"{report['total_violations']} invariant violations "
+          f"-> {args.out}")
+    if report["total_violations"]:
+        print(f"violations by invariant: "
+              f"{report['violations_by_invariant']}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -213,6 +253,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="host (h3) or switch (tor0.0, core0)")
 
     sub.add_parser("snapshot", help="consistent snapshot demo")
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded gray-failure campaign + invariant monitor"
+    )
+    chaos.add_argument("--seed", type=int, default=None, dest="chaos_seed",
+                       help="campaign seed (same as the global --seed)")
+    chaos.add_argument("--episodes", type=int, default=12)
+    chaos.add_argument("--processes", type=int, default=16)
+    chaos.add_argument("--faults", type=int, default=4,
+                       help="faults injected per episode")
+    chaos.add_argument("--mode", default="all",
+                       choices=["all", "chip", "switch_cpu", "host_delegate"])
+    chaos.add_argument("--raft", action="store_true",
+                       help="replicate the controller on Raft and inject "
+                            "leader partitions")
+    chaos.add_argument("--out", default="results/chaos_campaign.json")
     return parser
 
 
@@ -222,6 +278,7 @@ COMMANDS = {
     "broadcast": cmd_broadcast,
     "failure": cmd_failure,
     "snapshot": cmd_snapshot,
+    "chaos": cmd_chaos,
 }
 
 

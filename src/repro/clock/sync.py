@@ -70,6 +70,12 @@ class ClockSyncService:
         self._clocks: Dict[str, HostClock] = {}
         self._master: Optional[str] = None
         self._task = None
+        # Gray-failure injection state (see repro.chaos): while an outage
+        # is active, sync epochs are skipped and clocks drift freely.
+        self._outage_until = 0
+        self.sync_outages = 0
+        self.clock_steps = 0
+        self.syncs_skipped = 0
 
     def register(self, host_id: str, is_master: bool = False) -> HostClock:
         """Create and register the clock for ``host_id``."""
@@ -104,7 +110,40 @@ class ClockSyncService:
             self._task.cancel()
             self._task = None
 
+    # ------------------------------------------------------------------
+    # Gray-failure injection (repro.chaos)
+    # ------------------------------------------------------------------
+    def inject_outage(self, duration_ns: int) -> None:
+        """Suppress sync epochs for ``duration_ns``: a PTP master or
+        management-network outage.  Clocks drift apart freely until the
+        outage ends and the next epoch pulls them back in."""
+        if duration_ns <= 0:
+            raise ValueError(f"outage duration must be positive: {duration_ns}")
+        self._outage_until = max(
+            self._outage_until, self.sim.now + int(duration_ns)
+        )
+        self.sync_outages += 1
+
+    @property
+    def in_outage(self) -> bool:
+        return self.sim.now < self._outage_until
+
+    def step_clock(self, host_id: str, step_ns: int) -> None:
+        """Step one host's clock by ``step_ns`` (a faulty sync exchange or
+        oscillator glitch).  Positive steps jump the clock ahead; negative
+        steps are slewed by the clock's monotonicity guard, so host
+        timestamps never go backwards either way."""
+        self._clocks[host_id].adjust(step_ns)
+        self.clock_steps += 1
+
+    def set_drift(self, host_id: str, drift_ppm: float) -> None:
+        """Force one host's frequency error (a thermal excursion)."""
+        self._clocks[host_id].set_drift_ppm(drift_ppm)
+
     def _sync_all(self) -> None:
+        if self.sim.now < self._outage_until:
+            self.syncs_skipped += 1
+            return
         for host_id, clock in self._clocks.items():
             if host_id == self._master:
                 continue

@@ -33,6 +33,16 @@ class FailureInjector:
         """
         self.sim.schedule_at(at, self._crash_switch, switch_name)
 
+    def recover_switch(self, switch_name: str, at: int) -> None:
+        """Bring a crashed physical switch back (both logical halves).
+
+        The counterpart of :meth:`crash_switch`, enabling switch-flap
+        scenarios.  Its links were never failed, so once the switch
+        forwards traffic again the neighbors' ordering engines re-admit
+        the previously dead links in pending state (§4.2).
+        """
+        self.sim.schedule_at(at, self._recover_switch, switch_name)
+
     def cut_link(self, src_id: str, dst_id: str, at: int) -> None:
         """Cut one direction of a cable."""
         self.sim.schedule_at(at, self._cut_link, src_id, dst_id)
@@ -54,6 +64,23 @@ class FailureInjector:
             if link is not None:
                 link.fail()
                 self.log.append((self.sim.now, "cut_link", name))
+                found = True
+        if not found:
+            raise KeyError(f"no cable between {a} and {b}")
+
+    def recover_cable(self, a: str, b: str, at: int) -> None:
+        """Restore every existing link direction between two nodes (the
+        counterpart of :meth:`cut_cable`)."""
+        self.sim.schedule_at(at, self._recover_cable, a, b)
+
+    def _recover_cable(self, a: str, b: str) -> None:
+        links = self.topology.links
+        found = False
+        for name in (f"{a}->{b}", f"{b}->{a}"):
+            link = links.get(name)
+            if link is not None:
+                link.recover()
+                self.log.append((self.sim.now, "recover_link", name))
                 found = True
         if not found:
             raise KeyError(f"no cable between {a} and {b}")
@@ -90,6 +117,16 @@ class FailureInjector:
         if not matched:
             raise KeyError(f"no switch named {switch_name}")
         self.log.append((self.sim.now, "crash_switch", switch_name))
+
+    def _recover_switch(self, switch_name: str) -> None:
+        matched = False
+        for node_id, switch in self.topology.switches.items():
+            if node_id == switch_name or node_id.startswith(switch_name + "."):
+                switch.recover()
+                matched = True
+        if not matched:
+            raise KeyError(f"no switch named {switch_name}")
+        self.log.append((self.sim.now, "recover_switch", switch_name))
 
     def _cut_link(self, src_id: str, dst_id: str) -> None:
         link = self.topology.link(src_id, dst_id)

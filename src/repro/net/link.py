@@ -15,6 +15,13 @@ A link models the output queue of the upstream node plus the wire:
 - **Corruption loss**: each packet is independently dropped with
   ``loss_rate`` probability (models the 1e-8…1e-1 sweeps of Fig. 9b and
   Fig. 15b).
+- **Burst loss**: a Gilbert–Elliott two-state process (good/bad) layered
+  on top of the i.i.d. corruption loss, for gray-failure experiments
+  where losses cluster (flapping optics, incast drops) instead of being
+  independent.
+- **Degradation**: a runtime-settable bandwidth multiplier and extra
+  propagation delay model a degraded-but-alive link (autoneg fallback to
+  a lower rate, a rerouted optical path) — the other gray-failure staple.
 
 Links can be taken down (``fail()``) for failure experiments: a failed
 link silently discards traffic, which is exactly what crash-stop looks
@@ -89,6 +96,15 @@ class Link:
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self.loss_rate = loss_rate
         self._rng = sim.rng(f"link.loss.{name}") if loss_rate > 0 else None
+        # Gilbert–Elliott burst loss: (p_good_to_bad, p_bad_to_good,
+        # loss_good, loss_bad); None means disabled.
+        self._burst = None
+        self._burst_bad = False
+        self._burst_rng = None
+        # Degraded mode: <1.0 slows serialization; extra delay adds to
+        # propagation.  Both default to the healthy values.
+        self.degraded_bandwidth_factor = 1.0
+        self.degraded_extra_delay_ns = 0
         self.up = True
         # Optional selective drop predicate (failure injection in tests:
         # e.g. drop only data packets while letting beacons through).
@@ -107,6 +123,7 @@ class Link:
         self.tx_bytes = 0
         self.dropped_overflow = 0
         self.dropped_corruption = 0
+        self.dropped_burst = 0
         self.dropped_down = 0
         self.ecn_marked = 0
 
@@ -118,6 +135,74 @@ class Link:
         self.loss_rate = loss_rate
         if loss_rate > 0 and self._rng is None:
             self._rng = self.sim.rng(f"link.loss.{self.name}")
+
+    def set_burst_loss(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> None:
+        """Enable Gilbert–Elliott two-state burst loss.
+
+        Per delivered packet the chain first transitions (good→bad with
+        ``p_good_to_bad``, bad→good with ``p_bad_to_good``), then drops
+        the packet with the loss probability of the current state.  Mean
+        burst length is ``1 / p_bad_to_good`` packets.  Independent of —
+        and applied before — the i.i.d. ``loss_rate``.
+        """
+        for label, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{label} out of range: {p}")
+        self._burst = (p_good_to_bad, p_bad_to_good, loss_good, loss_bad)
+        if self._burst_rng is None:
+            self._burst_rng = self.sim.rng(f"link.burst.{self.name}")
+
+    def clear_burst_loss(self) -> None:
+        """Disable burst loss and reset the chain to the good state."""
+        self._burst = None
+        self._burst_bad = False
+
+    @property
+    def burst_state_bad(self) -> bool:
+        """Whether the Gilbert–Elliott chain is in the bad state."""
+        return self._burst_bad
+
+    def set_degradation(
+        self, bandwidth_factor: float = 1.0, extra_delay_ns: int = 0
+    ) -> None:
+        """Degrade the link: multiply bandwidth, add propagation delay.
+
+        ``bandwidth_factor`` scales the serialization rate (0.1 turns a
+        100 Gbps link into a 10 Gbps one); ``extra_delay_ns`` is added to
+        the one-way propagation delay.  Validated like the constructor
+        arguments: the multiplier must be positive and the added delay
+        non-negative.
+        """
+        if bandwidth_factor <= 0:
+            raise ValueError(
+                f"bandwidth factor must be positive: {bandwidth_factor}"
+            )
+        if extra_delay_ns < 0:
+            raise ValueError(f"negative extra delay: {extra_delay_ns}")
+        self.degraded_bandwidth_factor = float(bandwidth_factor)
+        self.degraded_extra_delay_ns = int(extra_delay_ns)
+
+    def clear_degradation(self) -> None:
+        self.degraded_bandwidth_factor = 1.0
+        self.degraded_extra_delay_ns = 0
+
+    @property
+    def degraded(self) -> bool:
+        return (
+            self.degraded_bandwidth_factor != 1.0
+            or self.degraded_extra_delay_ns != 0
+        )
 
     def fail(self) -> None:
         """Take the link down: subsequent sends are silently discarded."""
@@ -163,7 +248,9 @@ class Link:
             packet.ecn = True
             self.ecn_marked += 1
 
-        serialization = int(size / self.bytes_per_ns)
+        serialization = int(
+            size / (self.bytes_per_ns * self.degraded_bandwidth_factor)
+        )
         start = max(sim.now, self._busy_until)
         done_serializing = start + serialization
         self._busy_until = done_serializing
@@ -172,16 +259,35 @@ class Link:
         self.tx_bytes += size
 
         sim.schedule_at(done_serializing, self._dequeued, size)
-        sim.schedule_at(done_serializing + self.prop_delay_ns, self._deliver, packet)
+        sim.schedule_at(
+            done_serializing + self.prop_delay_ns + self.degraded_extra_delay_ns,
+            self._deliver,
+            packet,
+        )
         return True
 
     def _dequeued(self, size: int) -> None:
         self._backlog_bytes -= size
 
+    def _burst_drops(self) -> bool:
+        """Advance the Gilbert–Elliott chain one packet; True to drop."""
+        p_good_to_bad, p_bad_to_good, loss_good, loss_bad = self._burst
+        rng = self._burst_rng
+        if self._burst_bad:
+            if rng.random() < p_bad_to_good:
+                self._burst_bad = False
+        elif rng.random() < p_good_to_bad:
+            self._burst_bad = True
+        loss = loss_bad if self._burst_bad else loss_good
+        return loss > 0 and rng.random() < loss
+
     def _deliver(self, packet: Packet) -> None:
         if not self.up:
             # The link went down while the packet was in flight.
             self.dropped_down += 1
+            return
+        if self._burst is not None and self._burst_drops():
+            self.dropped_burst += 1
             return
         if self._rng is not None and self._rng.random() < self.loss_rate:
             self.dropped_corruption += 1

@@ -102,6 +102,9 @@ class Switch(Node):
     ) -> None:
         super().__init__(sim, node_id)
         self.forwarding_delay_ns = forwarding_delay_ns
+        # Healthy pipeline delay; kept so straggler injection (a slowed
+        # pipeline, see repro.chaos) can be reverted exactly.
+        self.base_forwarding_delay_ns = forwarding_delay_ns
         # dst host id -> list of candidate output links (ECMP set).
         self.routes: Dict[str, List[Link]] = {}
         self.engine: Optional[OrderingEngine] = None
@@ -113,6 +116,14 @@ class Switch(Node):
     def install_engine(self, engine: OrderingEngine) -> None:
         self.engine = engine
         engine.attach(self)
+
+    def set_straggler(self, factor: float) -> None:
+        """Scale the ingress pipeline delay (gray-failure injection: an
+        overloaded or degraded switch that forwards slowly but does not
+        crash).  ``factor`` 1.0 restores the healthy delay."""
+        if factor <= 0:
+            raise ValueError(f"straggler factor must be positive: {factor}")
+        self.forwarding_delay_ns = int(self.base_forwarding_delay_ns * factor)
 
     def add_route(self, dst_host: str, link: Link) -> None:
         self.routes.setdefault(dst_host, []).append(link)

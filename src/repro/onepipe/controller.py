@@ -221,6 +221,13 @@ class Controller:
 
     def _resume(self) -> None:
         episode = self._episode
+        if episode is None:
+            # Two report batches can race to Resume: when fresh reports
+            # arrive while a Broadcast is still in flight, both the
+            # broadcast's completion path and the new batch's Determine
+            # call _resume; whichever runs first handles every
+            # accumulated report and clears the episode.
+            return
         for report in self._reports:
             engine = self._report_engines.get(report.link)
             if engine is not None:

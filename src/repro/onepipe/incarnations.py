@@ -72,6 +72,9 @@ class _OrderingEngineBase:
         self._emitted_be = 0
         self._emitted_commit = 0
         self._cascade_pending = False
+        # Gray-failure straggler knob: >1.0 slows this switch's beacon
+        # processing (CPU incarnations) or forwarding pipeline (chip).
+        self.straggle_factor = 1.0
 
     # ------------------------------------------------------------------
     def attach(self, switch: Switch) -> None:
@@ -94,6 +97,29 @@ class _OrderingEngineBase:
         if self._task is not None:
             self._task.cancel()
             self._task = None
+
+    # ------------------------------------------------------------------
+    # Gray-failure injection (repro.chaos)
+    # ------------------------------------------------------------------
+    def set_straggler(self, factor: float) -> None:
+        """Make this switch's ordering work ``factor``× slower.
+
+        In the CPU incarnations the per-beacon processing delay is
+        scaled (a straggling switch CPU / representative host, §6.2.2–3);
+        in the chip incarnation the forwarding pipeline itself is scaled.
+        Barriers go stale downstream but safety is unaffected — exactly
+        the gray failure a chaos campaign must show 1Pipe survives.
+        ``factor`` 1.0 restores healthy speed.
+        """
+        if factor <= 0:
+            raise ValueError(f"straggler factor must be positive: {factor}")
+        self.straggle_factor = float(factor)
+        self._apply_straggler()
+
+    def _apply_straggler(self) -> None:
+        """Chip incarnation: ordering happens in the pipeline itself."""
+        if self.switch is not None:
+            self.switch.set_straggler(self.straggle_factor)
 
     # ------------------------------------------------------------------
     # Liveness (§4.2) and failure-handling hooks (§5.2)
@@ -269,7 +295,7 @@ class SwitchCpuEngine(_OrderingEngineBase):
         self._note_arrival(in_link)
         if packet.kind == PacketKind.BEACON:
             self.sim.schedule(
-                self.processing_delay_ns,
+                int(self.processing_delay_ns * self.straggle_factor),
                 self._cpu_update,
                 in_link,
                 packet.barrier_ts,
@@ -277,6 +303,11 @@ class SwitchCpuEngine(_OrderingEngineBase):
             )
             return False
         return True  # data forwarded by the chip, barriers untouched
+
+    def _apply_straggler(self) -> None:
+        # The chip still forwards data at full speed; only the CPU (or
+        # representative host) that processes beacons straggles.
+        pass
 
     def _cpu_update(self, in_link: Link, be_barrier: int, commit_ts: int) -> None:
         if self.be.has_link(in_link):

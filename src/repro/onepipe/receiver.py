@@ -171,8 +171,16 @@ class ProcessReceiver:
             else:
                 if ts >= self._be_floor:
                     break
-                if not strict_merge:
-                    pass  # independent planes: no extra gate
+                # Merged total order: the heap alone only gates
+                # best-effort behind *buffered* reliable messages.  A
+                # reliable message still being retransmitted (lost on a
+                # gray link) is invisible here, and only the commit
+                # barrier proves nothing reliable below ``ts`` can still
+                # arrive.  Without this gate, chaos campaigns deliver a
+                # retransmitted reliable message below an already-
+                # delivered best-effort timestamp.
+                if strict_merge and ts >= self._commit_floor:
+                    break
             heapq.heappop(heap)
             self._buffered.discard((src, msg_id))
             self.buffer_bytes -= size

@@ -1,0 +1,76 @@
+"""Unit tests for the crash-stop failure injector."""
+
+import pytest
+
+from repro.net import FailureInjector, build_testbed
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def topo():
+    return build_testbed(Simulator())
+
+
+def halves(topo, name):
+    return [
+        switch for node_id, switch in topo.switches.items()
+        if node_id == name or node_id.startswith(name + ".")
+    ]
+
+
+class TestSwitchFlap:
+    def test_recover_switch_restores_all_logical_halves(self, topo):
+        injector = FailureInjector(topo)
+        injector.crash_switch("spine0.0", at=10)
+        injector.recover_switch("spine0.0", at=20)
+        topo.sim.run(until=15)
+        assert all(s.failed for s in halves(topo, "spine0.0"))
+        topo.sim.run(until=30)
+        assert not any(s.failed for s in halves(topo, "spine0.0"))
+
+    def test_recover_switch_on_core(self, topo):
+        injector = FailureInjector(topo)
+        injector.crash_switch("core1", at=10)
+        injector.recover_switch("core1", at=20)
+        topo.sim.run(until=30)
+        assert not topo.switches["core1"].failed
+
+    def test_recover_switch_logs_action(self, topo):
+        injector = FailureInjector(topo)
+        injector.crash_switch("tor0.1", at=10)
+        injector.recover_switch("tor0.1", at=20)
+        topo.sim.run(until=30)
+        assert (20, "recover_switch", "tor0.1") in injector.log
+
+    def test_recover_unknown_switch_raises(self, topo):
+        injector = FailureInjector(topo)
+        injector.recover_switch("nosuch", at=10)
+        with pytest.raises(KeyError):
+            topo.sim.run(until=20)
+
+
+class TestCableRecovery:
+    def test_recover_cable_restores_cut_directions(self, topo):
+        injector = FailureInjector(topo)
+        injector.cut_cable("spine0.0.up", "core0", at=10)
+        injector.recover_cable("spine0.0.up", "core0", at=20)
+        topo.sim.run(until=15)
+        assert not topo.link("spine0.0.up", "core0").up
+        topo.sim.run(until=30)
+        assert topo.link("spine0.0.up", "core0").up
+
+    def test_recover_host_cable_restores_both_directions(self, topo):
+        injector = FailureInjector(topo)
+        injector.cut_host_cable("h3", at=10)
+        injector.recover_host_cable("h3", at=20)
+        topo.sim.run(until=15)
+        host = topo.host_by_id("h3")
+        assert not host.uplink.up and not host.downlink.up
+        topo.sim.run(until=30)
+        assert host.uplink.up and host.downlink.up
+
+    def test_recover_unknown_cable_raises(self, topo):
+        injector = FailureInjector(topo)
+        injector.recover_cable("h1", "h2", at=10)
+        with pytest.raises(KeyError):
+            topo.sim.run(until=20)

@@ -178,3 +178,36 @@ def test_invalid_parameters_rejected():
     link = make_link(sim, sink)
     with pytest.raises(ValueError):
         link.set_loss_rate(-0.1)
+
+
+class TestDegradationValidation:
+    def test_rejects_nonpositive_bandwidth_factor(self):
+        sim = Simulator()
+        link = make_link(sim, Sink(sim))
+        for bad in (0.0, -0.5):
+            with pytest.raises(ValueError):
+                link.set_degradation(bandwidth_factor=bad)
+
+    def test_rejects_negative_extra_delay(self):
+        sim = Simulator()
+        link = make_link(sim, Sink(sim))
+        with pytest.raises(ValueError):
+            link.set_degradation(extra_delay_ns=-1)
+
+    def test_rejected_call_leaves_link_nominal(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        link = make_link(sim, sink)
+        with pytest.raises(ValueError):
+            link.set_degradation(bandwidth_factor=-1.0)
+        assert not link.degraded
+        link.send(data_packet())
+        sim.run()
+        assert [t for t, _ in sink.received] == [200]
+
+    def test_burst_loss_rejects_out_of_range_probabilities(self):
+        sim = Simulator()
+        link = make_link(sim, Sink(sim))
+        for args in ((1.5, 0.5), (0.5, -0.1), (0.5, 0.5, 2.0)):
+            with pytest.raises(ValueError):
+                link.set_burst_loss(*args)

@@ -166,3 +166,12 @@ class TestHostAgentPlumbing:
         agent._update_barriers(base + 300, base + 70)
         sim.run(until=1_000)
         assert len(calls) == 1
+
+
+def test_resume_without_active_episode_is_noop():
+    """Two report batches can race to Resume (seen under chaos link
+    flaps); the loser must find the episode gone and do nothing."""
+    sim = Simulator(seed=60)
+    cluster = OnePipeCluster(sim, n_processes=4)
+    cluster.controller._resume()
+    assert cluster.controller.recoveries == []

@@ -110,3 +110,45 @@ class TestFailureTimestamp:
 
     def test_no_matching_reports_returns_zero(self, topo):
         assert failure_timestamp({"h5"}, []) == 0
+
+
+class TestNonSeparablePartition:
+    """True network partitions have no separating cut (§5.2 fallback):
+    the failed region swallows the fabric and timestamps fall back to
+    the max over whatever inside-region reports exist — or to zero when
+    every report originates outside the region."""
+
+    def test_all_uplinks_dead_fails_every_host_with_pod_timestamps(
+        self, topo
+    ):
+        reports = [
+            report(topo, "spine0.0.up", "core0", last_commit=100),
+            report(topo, "spine0.1.up", "core1", last_commit=200),
+            report(topo, "spine1.0.up", "core0", last_commit=300),
+            report(topo, "spine1.1.up", "core1", last_commit=400),
+        ]
+        failed, timestamps = determine(
+            topo.graph, reports, ROOTS, hosts(topo)
+        )
+        assert failed == set(hosts(topo))
+        # Pods are separate weak components once the cores are excluded,
+        # so each pod takes the max over its own spine reports.
+        assert all(timestamps[f"h{i}"] == 200 for i in range(16))
+        assert all(timestamps[f"h{i}"] == 400 for i in range(16, 32))
+
+    def test_reports_outside_region_fall_back_to_zero(self, topo):
+        # Cut every core->spine downlink: hosts can still send to the
+        # roots but receive from nobody, so all fail — yet the dead
+        # links originate at the (alive) cores, outside every failed
+        # region, leaving no usable cut timestamp.
+        reports = [
+            report(topo, "core0", "spine0.0.down", last_commit=150),
+            report(topo, "core1", "spine0.1.down", last_commit=250),
+            report(topo, "core0", "spine1.0.down", last_commit=350),
+            report(topo, "core1", "spine1.1.down", last_commit=450),
+        ]
+        failed, timestamps = determine(
+            topo.graph, reports, ROOTS, hosts(topo)
+        )
+        assert failed == set(hosts(topo))
+        assert all(timestamps[h] == 0 for h in hosts(topo))

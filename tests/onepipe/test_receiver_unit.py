@@ -65,7 +65,7 @@ class TestAssembly:
         sim, receiver, delivered = rig
         receiver.on_data_packet(data_packet(ts=100))
         assert delivered == []
-        receiver.flush(be_barrier=101, commit_barrier=0)
+        receiver.flush(be_barrier=101, commit_barrier=101)
         assert delivered == [(100, 0, "p", False)]
 
     def test_fragments_out_of_order_assemble(self, rig):
@@ -81,7 +81,7 @@ class TestAssembly:
             data_packet(ts=50, psn=1, n_frags=3, last=False)
         )
         assert receiver.arrivals == 1
-        receiver.flush(51, 0)
+        receiver.flush(51, 51)
         assert len(delivered) == 1
 
     def test_duplicate_fragment_ignored(self, rig):
@@ -94,9 +94,9 @@ class TestAssembly:
         """A message with ts == barrier is NOT deliverable (strict <)."""
         sim, receiver, delivered = rig
         receiver.on_data_packet(data_packet(ts=100))
-        receiver.flush(be_barrier=100, commit_barrier=0)
+        receiver.flush(be_barrier=100, commit_barrier=100)
         assert delivered == []
-        receiver.flush(be_barrier=101, commit_barrier=0)
+        receiver.flush(be_barrier=101, commit_barrier=101)
         assert len(delivered) == 1
 
 
@@ -104,9 +104,9 @@ class TestDedupAndLateness:
     def test_duplicate_message_reacked_not_redelivered(self, rig):
         sim, receiver, delivered = rig
         receiver.on_data_packet(data_packet(ts=10, msg_id=7))
-        receiver.flush(11, 0)
+        receiver.flush(11, 11)
         receiver.on_data_packet(data_packet(ts=10, msg_id=7))  # rtx dup
-        receiver.flush(12, 0)
+        receiver.flush(12, 12)
         assert len(delivered) == 1
         assert receiver.duplicates == 1
 
@@ -114,16 +114,16 @@ class TestDedupAndLateness:
         sim, receiver, delivered = rig
         receiver.on_data_packet(data_packet(ts=10, msg_id=7))
         receiver.on_data_packet(data_packet(ts=10, msg_id=7))
-        receiver.flush(11, 0)
+        receiver.flush(11, 11)
         assert len(delivered) == 1
         assert receiver.duplicates == 1
 
     def test_late_arrival_naked(self, rig):
         sim, receiver, delivered = rig
-        receiver.flush(be_barrier=1000, commit_barrier=0)
+        receiver.flush(be_barrier=1000, commit_barrier=1000)
         receiver.on_data_packet(data_packet(ts=500, msg_id=9))
         assert receiver.late_naks == 1
-        receiver.flush(2000, 0)
+        receiver.flush(2000, 2000)
         assert delivered == []
 
     def test_reliable_gated_by_commit_barrier_only(self, rig):
@@ -148,6 +148,8 @@ class TestDedupAndLateness:
         receiver.flush(be_barrier=300, commit_barrier=50)
         assert delivered == []  # BE@200 waits behind R@100
         receiver.flush(be_barrier=300, commit_barrier=150)
+        assert [d[0] for d in delivered] == [100]  # BE@200 still gated
+        receiver.flush(be_barrier=300, commit_barrier=201)
         assert [d[0] for d in delivered] == [100, 200]
 
 
@@ -178,7 +180,7 @@ class TestFailureDiscards:
     def test_discard_already_delivered_returns_false(self, rig):
         sim, receiver, delivered = rig
         receiver.on_data_packet(data_packet(ts=100, msg_id=5))
-        receiver.flush(101, 0)
+        receiver.flush(101, 101)
         assert receiver.discard_message(0, 5) is False
 
 
@@ -227,6 +229,35 @@ class TestBufferAccounting:
         receiver.on_data_packet(data_packet(ts=20, msg_id=2, size=300))
         assert receiver.buffer_bytes == 800
         assert receiver.max_buffer_bytes == 800
-        receiver.flush(15, 0)
+        receiver.flush(15, 15)
         assert receiver.buffer_bytes == 300
         assert receiver.max_buffer_bytes == 800
+
+
+class TestStrictMergeGate:
+    """Best-effort delivery must also wait for the commit barrier when
+    the two services present one merged total order: a reliable message
+    lost on a gray link and still retransmitting is invisible to the
+    reorder buffer, and only the commit barrier proves nothing reliable
+    below a timestamp can still arrive (found by the chaos campaign)."""
+
+    def test_best_effort_waits_for_commit_floor(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=200))
+        receiver.flush(be_barrier=300, commit_barrier=150)
+        assert delivered == []  # a reliable msg below 200 may still come
+        receiver.flush(be_barrier=300, commit_barrier=250)
+        assert [(ts, r) for ts, _s, _p, r in delivered] == [(200, False)]
+
+    def test_independent_planes_skip_the_gate(self):
+        sim = Simulator(seed=2)
+        agent = _StubAgent(sim)
+        config = OnePipeConfig(cpu_ns_per_msg=0, strict_merge=False)
+        receiver = ProcessReceiver(agent, proc_id=1, config=config)
+        delivered = []
+        receiver.deliver_callback = (
+            lambda ts, src, payload, reliable: delivered.append(ts)
+        )
+        receiver.on_data_packet(data_packet(ts=200))
+        receiver.flush(be_barrier=300, commit_barrier=150)
+        assert delivered == [200]

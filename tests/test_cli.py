@@ -51,3 +51,17 @@ def test_snapshot(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["nonsense"])
+
+
+def test_chaos_campaign(tmp_path, capsys):
+    out = str(tmp_path / "campaign.json")
+    assert main([
+        "chaos", "--episodes", "2", "--processes", "8",
+        "--seed", "5", "--faults", "2", "--out", out,
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "0 invariant violations" in text
+    import json
+    report = json.loads(open(out).read())
+    assert report["ok"] is True
+    assert len(report["episode_reports"]) == 2
