@@ -1,0 +1,380 @@
+"""Seeded micro/macro benchmarks for the simulation kernel hot path.
+
+The repo's figures and chaos campaigns all funnel through the same event
+loop, links, and receiver flush path; this module measures those layers
+directly so performance regressions are visible per-PR:
+
+- ``event_loop``     — raw scheduler throughput (schedule + run, no network).
+- ``cancel_churn``   — schedule/cancel churn; exercises the tombstone
+  compaction that bounds heap growth in long campaigns.
+- ``link_forward``   — host NIC + link serialization/propagation pipeline.
+- ``e2e_<mode>``     — sender→receiver 1Pipe messages/sec per incarnation.
+- ``chaos_episode``  — wall-clock of one full chaos episode.
+
+Every benchmark is a pure function of ``(seed, scale)`` on the simulated
+side: the ``metrics`` dict it reports (events processed, messages
+delivered, final simulated time …) is deterministic, while ``wall_s`` and
+the derived ``rates`` obviously vary with the machine.  ``run_suite``
+writes a stable-schema JSON document (``BENCH_core.json`` at the repo
+root by convention) so the perf trajectory can be tracked across commits
+and checked in CI via :func:`check_against`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.sim import Simulator
+
+BENCH_SCHEMA_VERSION = 1
+DEFAULT_OUT = "BENCH_core.json"
+
+
+class BenchResult:
+    """Outcome of one benchmark: wall time + deterministic metrics."""
+
+    def __init__(
+        self,
+        name: str,
+        wall_s: float,
+        metrics: Dict[str, Any],
+        rates: Dict[str, float],
+    ) -> None:
+        self.name = name
+        self.wall_s = wall_s
+        self.metrics = metrics
+        self.rates = rates
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "metrics": self.metrics,
+            "rates": {k: round(v, 3) for k, v in self.rates.items()},
+        }
+
+
+def _noop() -> None:
+    """Do-nothing callback for scheduler microbenchmarks."""
+
+
+# ----------------------------------------------------------------------
+# Microbenchmarks
+# ----------------------------------------------------------------------
+def bench_event_loop(seed: int, scale: float) -> BenchResult:
+    """Raw event-loop throughput: 64 self-rescheduling chains, no network."""
+    sim = Simulator(seed=seed)
+    total = max(2_000, int(400_000 * scale))
+    chains = 64
+    per_chain = total // chains
+    remaining = [per_chain] * chains
+    schedule = sim.schedule
+
+    def tick(i: int) -> None:
+        remaining[i] -= 1
+        if remaining[i]:
+            schedule(97 + i, tick, i)
+
+    for i in range(chains):
+        schedule(i + 1, tick, i)
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    events = sim.events_processed
+    return BenchResult(
+        "event_loop",
+        wall,
+        {"events": events, "final_time_ns": sim.now},
+        {"events_per_sec": events / wall if wall > 0 else 0.0},
+    )
+
+
+def bench_cancel_churn(seed: int, scale: float) -> BenchResult:
+    """Schedule/cancel churn: 90% of timers are cancelled long before they
+    fire (ACKed retransmission timers), so heap growth is bounded only by
+    the tombstone compaction."""
+    sim = Simulator(seed=seed)
+    rounds = max(20, int(400 * scale))
+    batch = 500
+    cancel_per_batch = batch * 9 // 10
+    scheduled = 0
+    cancelled = 0
+    max_heap = 0
+    start = time.perf_counter()
+    for _ in range(rounds):
+        handles = [
+            sim.schedule(1_000_000 + (i % 13), _noop) for i in range(batch)
+        ]
+        scheduled += batch
+        for handle in handles[:cancel_per_batch]:
+            handle.cancel()
+        cancelled += cancel_per_batch
+        if sim.pending_events > max_heap:
+            max_heap = sim.pending_events
+        sim.run_for(10)
+    sim.run()
+    wall = time.perf_counter() - start
+    return BenchResult(
+        "cancel_churn",
+        wall,
+        {
+            "scheduled": scheduled,
+            "cancelled": cancelled,
+            "fired": sim.events_processed,
+            "max_heap": max_heap,
+            "final_tombstones": sim.heap_tombstones,
+        },
+        {"ops_per_sec": (scheduled + cancelled) / wall if wall > 0 else 0.0},
+    )
+
+
+def bench_link_forward(seed: int, scale: float) -> BenchResult:
+    """Host NIC + link pipeline: paced 1 KB packets host→host."""
+    from repro.net.link import Link
+    from repro.net.nic import Host
+    from repro.net.packet import Packet, PacketKind
+
+    sim = Simulator(seed=seed)
+    src = Host(sim, "bench-src")
+    dst = Host(sim, "bench-dst")
+    link = Link(sim, "bench-src->bench-dst", src, dst)
+    src.set_uplink(link)
+    dst.set_downlink(link)
+    delivered = [0]
+    dst.register_endpoint(1, lambda packet: delivered.__setitem__(0, delivered[0] + 1))
+
+    total = max(2_000, int(60_000 * scale))
+    burst = 10
+    sent = [0]
+
+    def feed() -> None:
+        for _ in range(burst):
+            if sent[0] >= total:
+                return
+            sent[0] += 1
+            src.send_packet(
+                Packet(
+                    PacketKind.DATA,
+                    src=0,
+                    dst=1,
+                    dst_host="bench-dst",
+                    msg_id=sent[0],
+                    payload_bytes=1000,
+                )
+            )
+        sim.schedule(1_000, feed)
+
+    sim.schedule(0, feed)
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    return BenchResult(
+        "link_forward",
+        wall,
+        {
+            "packets_sent": sent[0],
+            "packets_delivered": delivered[0],
+            "events": sim.events_processed,
+            "final_time_ns": sim.now,
+        },
+        {
+            "packets_per_sec": delivered[0] / wall if wall > 0 else 0.0,
+            "events_per_sec": sim.events_processed / wall if wall > 0 else 0.0,
+        },
+    )
+
+
+def bench_e2e(seed: int, scale: float, mode: str) -> BenchResult:
+    """Sender→receiver 1Pipe throughput on the full testbed, one mode."""
+    from repro.onepipe import OnePipeCluster, OnePipeConfig
+
+    sim = Simulator(seed=seed)
+    cluster = OnePipeCluster(
+        sim, n_processes=8, config=OnePipeConfig(mode=mode)
+    )
+    n = cluster.n_processes
+    delivered = [0]
+    for i in range(n):
+        cluster.endpoint(i).on_recv(
+            lambda m: delivered.__setitem__(0, delivered[0] + 1)
+        )
+    sent = [0]
+
+    def blast(s: int) -> None:
+        endpoint = cluster.endpoint(s)
+        endpoint.unreliable_send([((s + 1) % n, sent[0])])
+        if s % 2 == 0:
+            endpoint.reliable_send([((s + 3) % n, sent[0])])
+            sent[0] += 2
+        else:
+            sent[0] += 1
+
+    for s in range(n):
+        sim.every(10_000, blast, s)
+    window = max(200_000, int(1_500_000 * scale))
+    start = time.perf_counter()
+    sim.run(until=window)
+    wall = time.perf_counter() - start
+    return BenchResult(
+        f"e2e_{mode}",
+        wall,
+        {
+            "messages_sent": sent[0],
+            "messages_delivered": delivered[0],
+            "events": sim.events_processed,
+            "simulated_ns": window,
+        },
+        {
+            "messages_per_sec": delivered[0] / wall if wall > 0 else 0.0,
+            "events_per_sec": sim.events_processed / wall if wall > 0 else 0.0,
+        },
+    )
+
+
+def bench_chaos_episode(seed: int, scale: float) -> BenchResult:
+    """Wall-clock of one full chaos episode (faults + invariant monitor)."""
+    from repro.chaos import CampaignRunner
+
+    runner = CampaignRunner(
+        seed=seed,
+        episodes=1,
+        n_processes=16,
+        horizon_ns=max(200_000, int(1_500_000 * scale)),
+        drain_ns=max(400_000, int(2_500_000 * scale)),
+        faults_per_episode=4,
+    )
+    start = time.perf_counter()
+    report = runner.run_episode(0)
+    wall = time.perf_counter() - start
+    return BenchResult(
+        "chaos_episode",
+        wall,
+        {
+            "messages_sent": report["messages_sent"],
+            "messages_delivered": report["messages_delivered"],
+            "violations": len(report["violations"]),
+        },
+        {
+            "messages_per_sec": (
+                report["messages_delivered"] / wall if wall > 0 else 0.0
+            ),
+        },
+    )
+
+
+# Benchmark registry; insertion order is the execution (and report) order.
+BENCHMARKS: Dict[str, Callable[[int, float], BenchResult]] = {
+    "event_loop": bench_event_loop,
+    "cancel_churn": bench_cancel_churn,
+    "link_forward": bench_link_forward,
+    "e2e_chip": lambda seed, scale: bench_e2e(seed, scale, "chip"),
+    "e2e_switch_cpu": lambda seed, scale: bench_e2e(seed, scale, "switch_cpu"),
+    "e2e_host_delegate": lambda seed, scale: bench_e2e(
+        seed, scale, "host_delegate"
+    ),
+    "chaos_episode": bench_chaos_episode,
+}
+
+
+# ----------------------------------------------------------------------
+# Suite driver + regression checking
+# ----------------------------------------------------------------------
+def run_suite(
+    seed: int = 1,
+    scale: float = 1.0,
+    only: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[BenchResult], None]] = None,
+) -> Dict[str, Any]:
+    """Run the benchmarks and return the BENCH_core.json payload."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive: {scale}")
+    selected = list(BENCHMARKS) if not only else list(only)
+    unknown = [name for name in selected if name not in BENCHMARKS]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmarks {unknown}; available: {list(BENCHMARKS)}"
+        )
+    results: Dict[str, Any] = {}
+    for name in selected:
+        result = BENCHMARKS[name](seed, scale)
+        results[name] = result.as_dict()
+        if progress is not None:
+            progress(result)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "core",
+        "seed": seed,
+        "scale": scale,
+        "benchmarks": results,
+    }
+
+
+def write_bench(payload: Dict[str, Any], path: str = DEFAULT_OUT) -> str:
+    """Persist a suite payload as stable, sorted JSON."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return os.path.abspath(path)
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def check_against(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 2.0,
+) -> List[str]:
+    """Compare a fresh run against a committed baseline.
+
+    Returns a list of human-readable problems (empty = pass):
+
+    - schema drift: version mismatch, missing/extra benchmarks, or a
+      benchmark whose metric/rate key sets changed;
+    - perf regression: any shared throughput rate that dropped by more
+      than ``tolerance``× against the baseline (wall-clock rates are
+      machine-dependent, hence the generous default factor).
+    """
+    if tolerance < 1.0:
+        raise ValueError(f"tolerance must be >= 1.0: {tolerance}")
+    problems: List[str] = []
+    if current.get("schema_version") != baseline.get("schema_version"):
+        problems.append(
+            f"schema_version {current.get('schema_version')} != "
+            f"baseline {baseline.get('schema_version')}"
+        )
+    current_benchmarks = current.get("benchmarks", {})
+    baseline_benchmarks = baseline.get("benchmarks", {})
+    if set(current_benchmarks) != set(baseline_benchmarks):
+        problems.append(
+            f"benchmark set drift: run has {sorted(current_benchmarks)}, "
+            f"baseline has {sorted(baseline_benchmarks)}"
+        )
+    for name in sorted(set(current_benchmarks) & set(baseline_benchmarks)):
+        ours = current_benchmarks[name]
+        theirs = baseline_benchmarks[name]
+        for section in ("metrics", "rates"):
+            if set(ours.get(section, {})) != set(theirs.get(section, {})):
+                problems.append(
+                    f"{name}: {section} keys drifted "
+                    f"({sorted(ours.get(section, {}))} vs "
+                    f"{sorted(theirs.get(section, {}))})"
+                )
+        for rate_name, baseline_rate in theirs.get("rates", {}).items():
+            ours_rate = ours.get("rates", {}).get(rate_name)
+            if ours_rate is None or baseline_rate <= 0:
+                continue
+            if ours_rate * tolerance < baseline_rate:
+                problems.append(
+                    f"{name}: {rate_name} regressed >"
+                    f"{tolerance:g}x ({ours_rate:.0f} vs baseline "
+                    f"{baseline_rate:.0f})"
+                )
+    return problems

@@ -223,6 +223,43 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench.microbench import (
+        BENCHMARKS,
+        check_against,
+        load_bench,
+        run_suite,
+        write_bench,
+    )
+
+    def progress(result):
+        rates = "  ".join(
+            f"{name}={value:,.0f}" for name, value in result.rates.items()
+        )
+        print(f"{result.name:18s} wall={result.wall_s:8.3f}s  {rates}")
+
+    if args.list:
+        for name in BENCHMARKS:
+            print(name)
+        return 0
+    payload = run_suite(
+        seed=args.seed, scale=args.scale, only=args.only or None,
+        progress=progress,
+    )
+    path = write_bench(payload, args.out)
+    print(f"wrote {path}")
+    if args.check:
+        problems = check_against(
+            payload, load_bench(args.check), tolerance=args.tolerance
+        )
+        if problems:
+            for problem in problems:
+                print(f"BENCH CHECK FAILED: {problem}", file=sys.stderr)
+            return 1
+        print(f"bench check against {args.check}: ok")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -269,6 +306,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replicate the controller on Raft and inject "
                             "leader partitions")
     chaos.add_argument("--out", default="results/chaos_campaign.json")
+
+    bench = sub.add_parser(
+        "bench", help="kernel hot-path micro/macro benchmark suite"
+    )
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="work multiplier (0.05 for a CI smoke run)")
+    bench.add_argument("--out", default="BENCH_core.json",
+                       help="where to write the suite report")
+    bench.add_argument("--only", action="append", default=None,
+                       metavar="NAME", help="run a subset (repeatable)")
+    bench.add_argument("--check", default=None, metavar="BASELINE",
+                       help="compare against a committed baseline report; "
+                            "exit 1 on schema drift or rate regression")
+    bench.add_argument("--tolerance", type=float, default=2.0,
+                       help="allowed slowdown factor for --check rates")
+    bench.add_argument("--list", action="store_true",
+                       help="list benchmark names and exit")
     return parser
 
 
@@ -279,6 +333,7 @@ COMMANDS = {
     "failure": cmd_failure,
     "snapshot": cmd_snapshot,
     "chaos": cmd_chaos,
+    "bench": cmd_bench,
 }
 
 

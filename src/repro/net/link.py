@@ -30,6 +30,7 @@ like to the other end.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from repro.sim import Simulator
@@ -112,6 +113,14 @@ class Link:
 
         self._busy_until = 0  # when the last queued packet finishes serializing
         self._backlog_bytes = 0  # bytes queued but not yet fully serialized
+        # FIFO of (finish_serializing_time, size) for packets still counted
+        # in the backlog.  Drained lazily at the next send/inspection instead
+        # of via a scheduled dequeue event per packet, which halves the
+        # simulator events a busy link generates.
+        self._backlog_fifo: deque = deque()
+        # Pre-bound delivery callback: avoids allocating a fresh bound-method
+        # object for every packet scheduled.
+        self._deliver_cb = self._deliver
         self.last_tx_time = 0  # last time a packet was enqueued (beacon logic)
         # Last non-beacon enqueue: data packets carry fresh barriers in
         # the programmable-chip incarnation, so links busy with data do
@@ -211,9 +220,19 @@ class Link:
     def recover(self) -> None:
         self.up = True
 
+    def _drain_backlog(self, now: int) -> None:
+        """Retire backlog entries whose serialization has finished."""
+        fifo = self._backlog_fifo
+        backlog = self._backlog_bytes
+        while fifo and fifo[0][0] <= now:
+            backlog -= fifo.popleft()[1]
+        self._backlog_bytes = backlog
+
     @property
     def queue_bytes(self) -> int:
         """Current backlog (for tests and ECN diagnostics)."""
+        if self._backlog_fifo:
+            self._drain_backlog(self.sim.now)
         return self._backlog_bytes
 
     def idle_since(self, now: int) -> int:
@@ -228,12 +247,15 @@ class Link:
         link applies queueing, marking, loss, and schedules delivery.
         """
         sim = self.sim
-        self.last_tx_time = sim.now
+        now = sim.now
+        self.last_tx_time = now
         if packet.kind != _BEACON_KIND:
-            self.last_data_tx = sim.now
+            self.last_data_tx = now
         if not self.up:
             self.dropped_down += 1
             return False
+        if self._backlog_fifo:
+            self._drain_backlog(now)
         size = packet.wire_bytes
         if (
             self.queue_capacity_bytes is not None
@@ -251,23 +273,20 @@ class Link:
         serialization = int(
             size / (self.bytes_per_ns * self.degraded_bandwidth_factor)
         )
-        start = max(sim.now, self._busy_until)
-        done_serializing = start + serialization
+        busy_until = self._busy_until
+        done_serializing = (busy_until if busy_until > now else now) + serialization
         self._busy_until = done_serializing
         self._backlog_bytes += size
+        self._backlog_fifo.append((done_serializing, size))
         self.tx_packets += 1
         self.tx_bytes += size
 
-        sim.schedule_at(done_serializing, self._dequeued, size)
         sim.schedule_at(
             done_serializing + self.prop_delay_ns + self.degraded_extra_delay_ns,
-            self._deliver,
+            self._deliver_cb,
             packet,
         )
         return True
-
-    def _dequeued(self, size: int) -> None:
-        self._backlog_bytes -= size
 
     def _burst_drops(self) -> bool:
         """Advance the Gilbert–Elliott chain one packet; True to drop."""

@@ -48,6 +48,7 @@ class Host(Node):
         self.clock = clock if clock is not None else HostClock(sim)
         self.nic_delay_ns = nic_delay_ns
         self.uplink: Optional[Link] = None
+        self._uplink_send: Optional[Callable[[Packet], bool]] = None
         self.downlink: Optional[Link] = None
         self.endpoints: Dict[int, PacketHandler] = {}
         # Hooks installed by the 1Pipe host agent (or left None).
@@ -64,6 +65,9 @@ class Host(Node):
         if self.uplink is not None:
             raise ValueError(f"{self.node_id} already has an uplink")
         self.uplink = link
+        # Pre-bound so the per-packet schedule below does not allocate a
+        # bound-method object for every send.
+        self._uplink_send = link.send
         self.attach_out_link(link)
 
     def set_downlink(self, link: Link) -> None:
@@ -92,7 +96,8 @@ class Host(Node):
         """
         if self.failed:
             return False
-        if self.uplink is None:
+        send = self._uplink_send
+        if send is None:
             raise RuntimeError(f"{self.node_id} has no uplink")
         packet.src_host = self.node_id
         packet.sent_at = self.sim.now
@@ -100,9 +105,9 @@ class Host(Node):
             self.egress_hook(packet)
         self.tx_packets += 1
         if self.nic_delay_ns:
-            self.sim.schedule(self.nic_delay_ns, self.uplink.send, packet)
+            self.sim.schedule(self.nic_delay_ns, send, packet)
             return True
-        return self.uplink.send(packet)
+        return send(packet)
 
     def receive(self, packet: Packet, in_link: Link) -> None:
         if self.failed:

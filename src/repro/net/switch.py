@@ -110,6 +110,9 @@ class Switch(Node):
         self.engine: Optional[OrderingEngine] = None
         self._ecmp_rng = sim.rng(f"switch.ecmp.{node_id}")
         self.ecmp_mode = "flow"  # "flow" (hash src,dst) or "packet" (spray)
+        # Pre-bound so per-packet scheduling does not allocate a fresh
+        # bound-method object on every forwarded packet.
+        self._forward_cb = self._forward
         self.rx_packets = 0
         self.no_route_drops = 0
 
@@ -143,9 +146,9 @@ class Switch(Node):
         # Packets arriving on the internal loopback already paid the
         # pipeline delay in the up half of this physical switch.
         if getattr(in_link, "internal", False):
-            self.sim.call_soon(self._forward, packet)
+            self.sim.call_soon(self._forward_cb, packet)
         else:
-            self.sim.schedule(self.forwarding_delay_ns, self._forward, packet)
+            self.sim.schedule(self.forwarding_delay_ns, self._forward_cb, packet)
 
     def _forward(self, packet: Packet) -> None:
         if self.failed:

@@ -60,8 +60,12 @@ class ProcessReceiver:
         self.proc_id = proc_id
         self.config = config
         self.deliver_callback: Optional[DeliverCallback] = None
-        # Reorder buffer: (ts, src, msg_id, reliable, payload, size).
-        self._heap: List[Tuple[int, int, int, bool, Any, int]] = []
+        # Reorder buffer: (ts, src, msg_id, reliable, payload, size, key)
+        # where key is the (src, msg_id) tuple — carried along so flush can
+        # probe/discard the bookkeeping sets without re-allocating a tuple
+        # per message.  (ts, src, msg_id) is unique, so heap comparisons
+        # never reach the payload.
+        self._heap: List[Tuple] = []
         self._tombstones: Set[Tuple[int, int]] = set()
         # Messages currently buffered (heap), for retransmission dedup.
         self._buffered: Set[Tuple[int, int]] = set()
@@ -121,9 +125,11 @@ class ProcessReceiver:
         if len(entry.frags) < entry.n_frags:
             return
         del self._assembling[key]
-        self._on_message(packet, entry)
+        self._on_message(packet, entry, key)
 
-    def _on_message(self, packet: Packet, entry: _Assembling) -> None:
+    def _on_message(
+        self, packet: Packet, entry: _Assembling, key: Tuple[int, int]
+    ) -> None:
         ts = entry.ts
         reliable = packet.kind == PacketKind.RDATA
         self.arrivals += 1
@@ -140,9 +146,17 @@ class ProcessReceiver:
         self._send_ack(packet, ecn=entry.ecn)
         heapq.heappush(
             self._heap,
-            (ts, packet.src, packet.msg_id, reliable, entry.payload, entry.bytes),
+            (
+                ts,
+                packet.src,
+                packet.msg_id,
+                reliable,
+                entry.payload,
+                entry.bytes,
+                key,
+            ),
         )
-        self._buffered.add((packet.src, packet.msg_id))
+        self._buffered.add(key)
         self.buffer_bytes += entry.bytes
         if self.buffer_bytes > self.max_buffer_bytes:
             self.max_buffer_bytes = self.buffer_bytes
@@ -152,24 +166,33 @@ class ProcessReceiver:
     # ------------------------------------------------------------------
     def flush(self, be_barrier: int, commit_barrier: int) -> int:
         """Deliver everything the barriers allow; returns count delivered."""
-        self._be_floor = max(self._be_floor, be_barrier)
-        self._commit_floor = max(self._commit_floor, commit_barrier)
+        if be_barrier > self._be_floor:
+            self._be_floor = be_barrier
+        if commit_barrier > self._commit_floor:
+            self._commit_floor = commit_barrier
         delivered = 0
         heap = self._heap
+        heappop = heapq.heappop
+        tombstones = self._tombstones
+        buffered = self._buffered
         strict_merge = self.config.strict_merge
+        be_floor = self._be_floor
+        commit_floor = self._commit_floor
         while heap:
-            ts, src, msg_id, reliable, payload, size = heap[0]
-            if (src, msg_id) in self._tombstones:
-                heapq.heappop(heap)
-                self._tombstones.discard((src, msg_id))
-                self._buffered.discard((src, msg_id))
-                self.buffer_bytes -= size
+            entry = heap[0]
+            key = entry[6]
+            if tombstones and key in tombstones:
+                heappop(heap)
+                tombstones.discard(key)
+                buffered.discard(key)
+                self.buffer_bytes -= entry[5]
                 continue
-            if reliable:
-                if ts >= self._commit_floor:
+            ts = entry[0]
+            if entry[3]:  # reliable
+                if ts >= commit_floor:
                     break
             else:
-                if ts >= self._be_floor:
+                if ts >= be_floor:
                     break
                 # Merged total order: the heap alone only gates
                 # best-effort behind *buffered* reliable messages.  A
@@ -179,12 +202,12 @@ class ProcessReceiver:
                 # arrive.  Without this gate, chaos campaigns deliver a
                 # retransmitted reliable message below an already-
                 # delivered best-effort timestamp.
-                if strict_merge and ts >= self._commit_floor:
+                if strict_merge and ts >= commit_floor:
                     break
-            heapq.heappop(heap)
-            self._buffered.discard((src, msg_id))
-            self.buffer_bytes -= size
-            self._deliver(ts, src, msg_id, payload, reliable)
+            heappop(heap)
+            buffered.discard(key)
+            self.buffer_bytes -= entry[5]
+            self._deliver(ts, entry[1], entry[2], entry[4], entry[3])
             delivered += 1
         return delivered
 
@@ -211,8 +234,17 @@ class ProcessReceiver:
 
     def _prune_delivered(self, src: int) -> None:
         """Forget ancient delivered ids (duplicates can no longer arrive:
-        their timestamps are far below the barrier and would be NAKed)."""
-        horizon = self._be_floor - 10 * self.config.ack_timeout_ns
+        their timestamps are far below the barrier and would be NAKed).
+
+        The horizon must trail the *slower* of the two barriers: a reliable
+        message is delivered (and retransmitted) against the commit barrier,
+        so when the commit barrier lags the best-effort one, a horizon from
+        ``_be_floor`` alone would forget ids whose retransmissions are still
+        in flight — those would then be NAKed as "late" instead of re-ACKed
+        as duplicates, making the sender believe a delivered message failed.
+        """
+        floor = min(self._be_floor, self._commit_floor)
+        horizon = floor - 10 * self.config.ack_timeout_ns
         delivered = self._delivered_ids[src]
         self._delivered_ids[src] = {
             msg_id: ts for msg_id, ts in delivered.items() if ts >= horizon
@@ -227,15 +259,18 @@ class ProcessReceiver:
         atomicity).  Returns the number discarded."""
         self._fail_cutoff[failed_proc] = failure_ts
         discarded = 0
-        for ts, src, msg_id, _rel, _payload, _size in self._heap:
+        for ts, src, msg_id, _rel, _payload, _size, key in self._heap:
             if src == failed_proc and ts >= failure_ts:
-                if (src, msg_id) not in self._tombstones:
-                    self._tombstones.add((src, msg_id))
+                if key not in self._tombstones:
+                    self._tombstones.add(key)
                     discarded += 1
+        # In-flight partial messages past the cutoff are dropped too; they
+        # count as discarded just like fully buffered ones.
         for key in list(self._assembling):
             src, _msg_id = key
             if src == failed_proc and self._assembling[key].ts >= failure_ts:
                 del self._assembling[key]
+                discarded += 1
         self.discarded_on_failure += discarded
         return discarded
 

@@ -1,8 +1,11 @@
 """The deterministic discrete-event simulator.
 
 Time is an integer number of nanoseconds starting at 0.  The simulator is a
-classic calendar queue: a binary heap of :class:`EventHandle` objects popped
-in ``(time, seq)`` order.  Determinism guarantees:
+classic calendar queue: a binary heap of ``(time, seq, handle)`` tuples
+popped in ``(time, seq)`` order.  Storing plain tuples (rather than the
+:class:`EventHandle` objects themselves) keeps every heap comparison inside
+the C tuple-compare fast path — ``seq`` is unique, so a sift never reaches
+the handle element.  Determinism guarantees:
 
 - Events at the same instant fire in the order they were scheduled.
 - All randomness flows through :class:`repro.sim.randomness.RngStreams`
@@ -47,14 +50,23 @@ class Simulator:
     100
     """
 
+    # Heap compaction: once at least this many cancelled tombstones sit in
+    # the heap AND they make up at least half of it, rebuild without them.
+    # Mirrors asyncio's timer-handle compaction; bounds heap growth under
+    # schedule/cancel churn (retransmission timers ACKed early, periodic
+    # tasks torn down mid-campaign) at amortized O(1) per cancellation.
+    COMPACT_MIN_TOMBSTONES = 64
+
     def __init__(self, seed: int = 0) -> None:
         self.now: int = 0
         self.seed = seed
-        self._heap: list[EventHandle] = []
+        # Heap of (time, seq, EventHandle) tuples; see module docstring.
+        self._heap: list[tuple] = []
         self._seq = 0
         self._stopped = False
         self._rngs = RngStreams(seed)
         self._events_processed = 0
+        self._heap_tombstones = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -65,7 +77,14 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(self.now + int(delay), callback, *args)
+        # Hot path: inlined push (no schedule_at call); delay >= 0 already
+        # guarantees the event is not in the past.
+        time = self.now + int(delay)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, self)
+        heapq.heappush(self._heap, (time, seq, handle))
+        return handle
 
     def schedule_at(
         self, time: int, callback: Callable[..., Any], *args: Any
@@ -75,10 +94,32 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self.now}"
             )
-        handle = EventHandle(int(time), self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        time = int(time)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, self)
+        heapq.heappush(self._heap, (time, seq, handle))
         return handle
+
+    def _handle_cancelled(self) -> None:
+        """A handle still in the heap was cancelled (called by the handle)."""
+        self._heap_tombstones += 1
+        if (
+            self._heap_tombstones >= self.COMPACT_MIN_TOMBSTONES
+            and self._heap_tombstones * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled tombstones.
+
+        Mutates the heap list in place so a run loop holding a local
+        reference keeps seeing the compacted queue.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._heap_tombstones = 0
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at the current time (after the
@@ -113,21 +154,57 @@ class Simulator:
         self._stopped = False
         processed = 0
         heap = self._heap
-        while heap and not self._stopped:
-            handle = heap[0]
-            if handle.cancelled:
-                heapq.heappop(heap)
-                continue
-            if until is not None and handle.time > until:
-                break
-            heapq.heappop(heap)
-            self.now = handle.time
-            handle.callback(*handle.args)
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at t={self.now}"
-                )
+        pop = heapq.heappop
+        # Specialized loops keep the hot path tight: the common case
+        # (no max_events) skips the per-event safety comparison, and the
+        # unbounded-time variant skips the ``until`` peek as well.  Live
+        # events are popped exactly once (no peek-then-pop).
+        if max_events is None:
+            if until is None:
+                while heap and not self._stopped:
+                    time, _seq, handle = pop(heap)
+                    if handle.cancelled:
+                        self._heap_tombstones -= 1
+                        continue
+                    handle._sim = None
+                    self.now = time
+                    handle.callback(*handle.args)
+                    processed += 1
+            else:
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    time = entry[0]
+                    if time > until:
+                        break
+                    pop(heap)
+                    handle = entry[2]
+                    if handle.cancelled:
+                        self._heap_tombstones -= 1
+                        continue
+                    handle._sim = None
+                    self.now = time
+                    handle.callback(*handle.args)
+                    processed += 1
+        else:
+            bound = until if until is not None else float("inf")
+            while heap and not self._stopped:
+                entry = heap[0]
+                time = entry[0]
+                if time > bound:
+                    break
+                pop(heap)
+                handle = entry[2]
+                if handle.cancelled:
+                    self._heap_tombstones -= 1
+                    continue
+                handle._sim = None
+                self.now = time
+                handle.callback(*handle.args)
+                processed += 1
+                if processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self.now}"
+                    )
         if until is not None and self.now < until and not self._stopped:
             self.now = until
         self._events_processed += processed
@@ -141,10 +218,12 @@ class Simulator:
         """Process a single event.  Returns False if the queue is empty."""
         heap = self._heap
         while heap:
-            handle = heapq.heappop(heap)
+            time, _seq, handle = heapq.heappop(heap)
             if handle.cancelled:
+                self._heap_tombstones -= 1
                 continue
-            self.now = handle.time
+            handle._sim = None
+            self.now = time
             handle.callback(*handle.args)
             self._events_processed += 1
             return True
@@ -163,6 +242,16 @@ class Simulator:
         return len(self._heap)
 
     @property
+    def live_events(self) -> int:
+        """Number of queued events that will actually fire."""
+        return len(self._heap) - self._heap_tombstones
+
+    @property
+    def heap_tombstones(self) -> int:
+        """Cancelled events still occupying heap slots (lazy deletion)."""
+        return self._heap_tombstones
+
+    @property
     def events_processed(self) -> int:
         """Total events processed over the lifetime of the simulator."""
         return self._events_processed
@@ -170,9 +259,10 @@ class Simulator:
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the queue is empty."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
-        return heap[0].time if heap else None
+            self._heap_tombstones -= 1
+        return heap[0][0] if heap else None
 
     def rng(self, name: str):
         """Named deterministic random stream (see :class:`RngStreams`)."""

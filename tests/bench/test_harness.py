@@ -78,6 +78,33 @@ class TestLatencyProbe:
         sim.run()
         assert probe.percentile_us(95) == pytest.approx(0.095)
 
+    def test_percentile_small_samples_nearest_rank(self):
+        """Regression: the old ``int(p/100*n) - 1`` rank was biased a
+        full rank low — p99 over 10 samples returned the 9th value
+        (~p80), deflating every figure's reported tail latency."""
+        probe = LatencyProbe(Simulator())
+        probe.latencies = [1000 * (i + 1) for i in range(10)]  # 1..10 us
+        assert probe.percentile_us(50) == pytest.approx(5.0)
+        assert probe.percentile_us(95) == pytest.approx(10.0)
+        assert probe.percentile_us(99) == pytest.approx(10.0)  # was 9.0
+        assert probe.percentile_us(100) == pytest.approx(10.0)
+
+    def test_percentile_matches_histogram(self):
+        from repro.sim.stats import Histogram
+
+        probe = LatencyProbe(Simulator())
+        probe.latencies = [7000, 1000, 4000, 9000, 2000]
+        histogram = Histogram()
+        histogram.extend(probe.latencies)
+        for p in (0, 25, 50, 75, 90, 99, 100):
+            assert probe.percentile_us(p) == histogram.percentile(p) / 1000
+
+    def test_percentile_single_sample(self):
+        probe = LatencyProbe(Simulator())
+        probe.latencies = [5000]
+        for p in (1, 50, 99):
+            assert probe.percentile_us(p) == pytest.approx(5.0)
+
 
 class TestClosedLoop:
     def test_slots_reissue_until_deadline(self):

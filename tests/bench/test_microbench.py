@@ -1,0 +1,129 @@
+"""Tests for the kernel hot-path benchmark suite (repro.bench.microbench)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.microbench import (
+    BENCH_SCHEMA_VERSION,
+    BENCHMARKS,
+    check_against,
+    load_bench,
+    run_suite,
+    write_bench,
+)
+
+SMOKE_SCALE = 0.01
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """One small suite run shared by the schema/determinism tests."""
+    return run_suite(seed=3, scale=SMOKE_SCALE)
+
+
+class TestSchema:
+    def test_top_level_schema(self, suite):
+        assert suite["schema_version"] == BENCH_SCHEMA_VERSION
+        assert suite["suite"] == "core"
+        assert suite["seed"] == 3
+        assert suite["scale"] == SMOKE_SCALE
+        assert set(suite["benchmarks"]) == set(BENCHMARKS)
+
+    def test_per_benchmark_schema(self, suite):
+        for name, entry in suite["benchmarks"].items():
+            assert set(entry) == {"wall_s", "metrics", "rates"}, name
+            assert entry["wall_s"] >= 0
+            assert entry["metrics"], name
+            assert entry["rates"], name
+            for value in entry["rates"].values():
+                assert value >= 0
+
+    def test_expected_benchmarks_present(self, suite):
+        names = set(suite["benchmarks"])
+        assert {"event_loop", "cancel_churn", "link_forward",
+                "chaos_episode"} <= names
+        assert {"e2e_chip", "e2e_switch_cpu", "e2e_host_delegate"} <= names
+
+    def test_meaningful_work_happened(self, suite):
+        benchmarks = suite["benchmarks"]
+        assert benchmarks["event_loop"]["metrics"]["events"] >= 1_000
+        assert benchmarks["link_forward"]["metrics"]["packets_delivered"] > 0
+        for mode in ("chip", "switch_cpu", "host_delegate"):
+            assert benchmarks[f"e2e_{mode}"]["metrics"]["messages_delivered"] > 0
+        assert benchmarks["chaos_episode"]["metrics"]["violations"] == 0
+
+
+class TestDeterminism:
+    def test_metrics_reproducible_for_same_seed(self, suite):
+        again = run_suite(seed=3, scale=SMOKE_SCALE)
+        for name in suite["benchmarks"]:
+            assert (
+                suite["benchmarks"][name]["metrics"]
+                == again["benchmarks"][name]["metrics"]
+            ), name
+
+    def test_written_file_round_trips(self, suite, tmp_path):
+        path = write_bench(suite, str(tmp_path / "BENCH_core.json"))
+        assert load_bench(path) == json.loads(json.dumps(suite))
+
+
+class TestSelection:
+    def test_only_subset(self):
+        suite = run_suite(seed=1, scale=SMOKE_SCALE, only=["event_loop"])
+        assert list(suite["benchmarks"]) == ["event_loop"]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmarks"):
+            run_suite(seed=1, scale=SMOKE_SCALE, only=["bogus"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            run_suite(seed=1, scale=0)
+
+
+class TestCheckAgainst:
+    def test_identical_passes(self, suite):
+        assert check_against(suite, copy.deepcopy(suite)) == []
+
+    def test_faster_run_passes(self, suite):
+        baseline = copy.deepcopy(suite)
+        for entry in baseline["benchmarks"].values():
+            entry["rates"] = {k: v / 10 for k, v in entry["rates"].items()}
+        assert check_against(suite, baseline) == []
+
+    def test_rate_regression_detected(self, suite):
+        baseline = copy.deepcopy(suite)
+        rates = baseline["benchmarks"]["event_loop"]["rates"]
+        rates["events_per_sec"] = rates["events_per_sec"] * 100
+        problems = check_against(suite, baseline, tolerance=2.0)
+        assert any("event_loop" in p and "regressed" in p for p in problems)
+
+    def test_within_tolerance_passes(self, suite):
+        baseline = copy.deepcopy(suite)
+        rates = baseline["benchmarks"]["event_loop"]["rates"]
+        rates["events_per_sec"] = rates["events_per_sec"] * 1.5
+        assert check_against(suite, baseline, tolerance=2.0) == []
+
+    def test_missing_benchmark_is_schema_drift(self, suite):
+        baseline = copy.deepcopy(suite)
+        del baseline["benchmarks"]["chaos_episode"]
+        problems = check_against(suite, baseline)
+        assert any("benchmark set drift" in p for p in problems)
+
+    def test_metric_key_drift_detected(self, suite):
+        baseline = copy.deepcopy(suite)
+        baseline["benchmarks"]["event_loop"]["metrics"]["bogus_key"] = 1
+        problems = check_against(suite, baseline)
+        assert any("metrics keys drifted" in p for p in problems)
+
+    def test_schema_version_mismatch_detected(self, suite):
+        baseline = copy.deepcopy(suite)
+        baseline["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        problems = check_against(suite, baseline)
+        assert any("schema_version" in p for p in problems)
+
+    def test_bad_tolerance_rejected(self, suite):
+        with pytest.raises(ValueError, match="tolerance"):
+            check_against(suite, copy.deepcopy(suite), tolerance=0.5)

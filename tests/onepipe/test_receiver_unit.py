@@ -160,6 +160,28 @@ class TestFailureDiscards:
         receiver.on_data_packet(data_packet(ts=300, msg_id=2))
         discarded = receiver.discard_from(failed_proc=0, failure_ts=200)
         assert discarded == 1
+        assert receiver.discarded_on_failure == 1
+        receiver.flush(1000, 1000)
+        assert [d[0] for d in delivered] == [100]
+
+    def test_discard_from_counts_assembling(self, rig):
+        """Regression: in-flight partial messages beyond the cutoff are
+        deleted by discard_from but were missing from the statistic."""
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=300, msg_id=2))  # buffered
+        receiver.on_data_packet(  # still assembling (1 of 2 fragments)
+            data_packet(ts=400, msg_id=3, psn=0, n_frags=2, last=False)
+        )
+        receiver.on_data_packet(  # assembling, but before the cutoff
+            data_packet(ts=100, msg_id=4, psn=0, n_frags=2, last=False)
+        )
+        discarded = receiver.discard_from(failed_proc=0, failure_ts=200)
+        assert discarded == 2  # the buffered one and the assembling one
+        assert receiver.discarded_on_failure == 2
+        # The pre-cutoff assembling message survives and can complete.
+        receiver.on_data_packet(
+            data_packet(ts=100, msg_id=4, psn=1, n_frags=2, last=True)
+        )
         receiver.flush(1000, 1000)
         assert [d[0] for d in delivered] == [100]
 
@@ -182,6 +204,48 @@ class TestFailureDiscards:
         receiver.on_data_packet(data_packet(ts=100, msg_id=5))
         receiver.flush(101, 101)
         assert receiver.discard_message(0, 5) is False
+
+
+class TestDeliveredIdPruning:
+    """Regression: the delivered-id GC horizon must trail the *slower*
+    barrier.  When the commit barrier lags the best-effort one (a gray
+    link stalling the reliable plane), a horizon computed from
+    ``_be_floor`` alone forgets a delivered reliable message whose
+    retransmissions are still in flight — the retransmission is then
+    NAKed as "late" instead of re-ACKed as a duplicate, telling the
+    sender a committed-and-delivered message failed."""
+
+    def test_prune_keeps_ids_above_lagging_commit_floor(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(
+            data_packet(ts=100, msg_id=7, kind=PacketKind.RDATA)
+        )
+        # Best-effort barrier races ahead; commit barrier lags at 150.
+        receiver.flush(be_barrier=1_000_000, commit_barrier=150)
+        assert len(delivered) == 1
+        receiver._prune_delivered(0)
+        # ack_timeout_ns=50_000: a be-only horizon (1_000_000 - 500_000)
+        # would have pruned ts=100; min(be, commit) keeps it.
+        assert 7 in receiver._delivered_ids[0]
+        # The retransmission (its ACK was lost) must be re-ACKed.
+        receiver.on_data_packet(
+            data_packet(ts=100, msg_id=7, kind=PacketKind.RDATA)
+        )
+        assert receiver.duplicates == 1
+        assert receiver.late_naks == 0
+        assert receiver.agent.host.sent[-1].kind == PacketKind.ACK
+        receiver.flush(be_barrier=1_000_000, commit_barrier=1_000_000)
+        assert len(delivered) == 1  # not delivered twice
+
+    def test_prune_still_forgets_ancient_ids(self, rig):
+        sim, receiver, delivered = rig
+        receiver.on_data_packet(data_packet(ts=100, msg_id=7))
+        receiver.flush(be_barrier=200, commit_barrier=200)
+        assert len(delivered) == 1
+        # Both floors far past the message + 10x ack timeout.
+        receiver.flush(be_barrier=2_000_000, commit_barrier=2_000_000)
+        receiver._prune_delivered(0)
+        assert 7 not in receiver._delivered_ids[0]
 
 
 class TestControlReplies:

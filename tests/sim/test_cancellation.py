@@ -1,0 +1,129 @@
+"""Cancellation hygiene: tombstone accounting and heap compaction.
+
+Lazy deletion must not let cancelled events accumulate without bound —
+long chaos campaigns cancel millions of retransmission timers that would
+otherwise sit in the heap until their (far-future) firing time.
+"""
+
+from repro.sim import Simulator
+
+
+class TestTombstoneAccounting:
+    def test_live_events_excludes_cancelled(self):
+        sim = Simulator()
+        handles = [sim.schedule(1000 + i, lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        assert sim.live_events == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending_events == 10  # tombstones still occupy slots
+        assert sim.live_events == 6
+        assert sim.heap_tombstones == 4
+
+    def test_cancel_after_fire_does_not_count(self):
+        sim = Simulator()
+        handle = sim.schedule(5, lambda: None)
+        sim.run()
+        handle.cancel()  # no-op: already fired
+        assert sim.heap_tombstones == 0
+        assert sim.live_events == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handle = sim.schedule(5, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.heap_tombstones == 1
+        sim.run()
+        assert sim.heap_tombstones == 0
+
+    def test_run_drains_tombstone_count(self):
+        sim = Simulator()
+        keep = []
+        for i in range(20):
+            handle = sim.schedule(10 + i, lambda: None)
+            if i % 2:
+                handle.cancel()
+            else:
+                keep.append(handle)
+        sim.run()
+        assert sim.heap_tombstones == 0
+        assert sim.pending_events == 0
+        assert sim.events_processed == len(keep)
+
+    def test_peek_time_drains_cancelled_prefix(self):
+        sim = Simulator()
+        cancelled = [sim.schedule(5 + i, lambda: None) for i in range(5)]
+        sim.schedule(100, lambda: None)
+        for handle in cancelled:
+            handle.cancel()
+        assert sim.heap_tombstones == 5
+        assert sim.peek_time() == 100
+        # The cancelled prefix was physically removed.
+        assert sim.pending_events == 1
+        assert sim.heap_tombstones == 0
+
+
+class TestCompaction:
+    def test_heap_bounded_under_schedule_cancel_churn(self):
+        """90%-cancelled churn must not grow the heap past ~2x its live
+        size (the compaction threshold), even over many rounds."""
+        sim = Simulator()
+        live = []
+        max_pending = 0
+        for round_no in range(200):
+            batch = [
+                sim.schedule(1_000_000 + round_no, lambda: None)
+                for _ in range(100)
+            ]
+            for handle in batch[:90]:
+                handle.cancel()
+            live.extend(batch[90:])
+            max_pending = max(max_pending, sim.pending_events)
+        # 200 * 100 = 20_000 scheduled, 2_000 live: without compaction the
+        # heap would hold all 20_000 entries; with it, the heap never
+        # exceeds ~2x the live size (plus one round's in-flight batch).
+        assert sim.live_events == len(live) == 2_000
+        assert max_pending <= 2 * len(live) + 200
+        sim.run()
+        assert sim.events_processed == 2_000
+
+    def test_compaction_preserves_order_and_liveness(self):
+        sim = Simulator()
+        fired = []
+        expected = []
+        for i in range(300):
+            handle = sim.schedule(1_000 + i, fired.append, i)
+            if i % 3 == 0:
+                expected.append(i)
+            else:
+                handle.cancel()  # triggers compactions along the way
+        sim.run()
+        assert fired == expected
+
+    def test_compaction_during_run_is_safe(self):
+        """Cancelling en masse from inside a callback compacts the same
+        heap list the run loop is iterating; events must still fire."""
+        sim = Simulator()
+        fired = []
+        victims = [sim.schedule(10_000 + i, fired.append, "v") for i in range(500)]
+
+        def massacre():
+            for handle in victims:
+                handle.cancel()
+
+        sim.schedule(10, massacre)
+        sim.schedule(20, fired.append, "survivor")
+        sim.schedule(20_000, fired.append, "late")
+        sim.run()
+        assert fired == ["survivor", "late"]
+
+    def test_cancelled_beyond_until_left_but_later_collected(self):
+        sim = Simulator()
+        handle = sim.schedule(1_000, lambda: None)
+        handle.cancel()
+        sim.run(until=100)
+        assert sim.now == 100
+        sim.run()  # drains the tombstone
+        assert sim.pending_events == 0
+        assert sim.heap_tombstones == 0
