@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli topology
     python -m repro.cli snapshot
     python -m repro.cli chaos --episodes 100 --seed 7
+    python -m repro.cli verify --episodes 25 --seed 1
 
 Each subcommand builds the paper's 32-host testbed, runs a short
 deterministic simulation, and prints a summary.
@@ -189,7 +190,6 @@ def cmd_chaos(args) -> int:
     from repro.onepipe.config import MODES
 
     modes = MODES if args.mode == "all" else (args.mode,)
-    seed = args.chaos_seed if args.chaos_seed is not None else args.seed
 
     def progress(report):
         n_viol = len(report["violations"])
@@ -202,7 +202,7 @@ def cmd_chaos(args) -> int:
                   f"(replay seed {violation['seed']})", file=sys.stderr)
 
     runner = CampaignRunner(
-        seed=seed,
+        seed=args.seed,
         episodes=args.episodes,
         modes=modes,
         n_processes=args.processes,
@@ -260,6 +260,43 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.onepipe.config import MODES
+    from repro.verify import VerifyRunner, write_report
+
+    modes = MODES if args.mode == "all" else (args.mode,)
+    runner = VerifyRunner(
+        seed=args.seed,
+        episodes=args.episodes,
+        modes=modes,
+        scale=args.scale,
+        n_faults=args.faults,
+        shrink=not args.no_shrink,
+        progress=print if not args.quiet else None,
+    )
+    report = runner.run()
+    write_report(report, args.out)
+    print(f"{report['episodes_run']} episode runs "
+          f"({args.episodes} episodes x {len(modes)} modes), "
+          f"{report['divergence_count']} oracle divergences, "
+          f"{len(report['harness_errors'])} harness errors -> {args.out}")
+    if not report["ok"]:
+        for result in report["results"]:
+            for divergence in result["divergences"]:
+                print(f"DIVERGENCE [{divergence['kind']}] "
+                      f"{divergence['detail']} (replay: seed="
+                      f"{divergence['seed']} mode={divergence['mode']})",
+                      file=sys.stderr)
+        shrunk = report.get("shrunk_reproducer")
+        if shrunk:
+            print(f"minimal reproducer: {shrunk['sends']} sends, "
+                  f"{shrunk['faults']} faults "
+                  f"(shrunk in {shrunk['replays']} replays) — see "
+                  f"'shrunk_reproducer.spec' in {args.out}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -294,8 +331,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos", help="seeded gray-failure campaign + invariant monitor"
     )
-    chaos.add_argument("--seed", type=int, default=None, dest="chaos_seed",
-                       help="campaign seed (same as the global --seed)")
+    chaos.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                       help="campaign seed (overrides the global --seed)")
     chaos.add_argument("--episodes", type=int, default=12)
     chaos.add_argument("--processes", type=int, default=16)
     chaos.add_argument("--faults", type=int, default=4,
@@ -310,6 +347,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="kernel hot-path micro/macro benchmark suite"
     )
+    bench.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                       help="suite seed (overrides the global --seed)")
     bench.add_argument("--scale", type=float, default=1.0,
                        help="work multiplier (0.05 for a CI smoke run)")
     bench.add_argument("--out", default="BENCH_core.json",
@@ -323,6 +362,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allowed slowdown factor for --check rates")
     bench.add_argument("--list", action="store_true",
                        help="list benchmark names and exit")
+
+    verify = sub.add_parser(
+        "verify", help="fuzzed episodes checked against the delivery-"
+                       "contract reference oracle"
+    )
+    verify.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                        help="fuzzer seed (overrides the global --seed)")
+    verify.add_argument("--episodes", type=int, default=10)
+    verify.add_argument("--faults", type=int, default=3,
+                        help="faults injected per episode")
+    verify.add_argument("--mode", "--incarnation", default="all",
+                        choices=["all", "chip", "switch_cpu", "host_delegate"])
+    verify.add_argument("--scale", default="small",
+                        choices=["small", "testbed"],
+                        help="episode topology (small: 8-host fat-tree)")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="skip shrinking the first failing episode")
+    verify.add_argument("--quiet", action="store_true",
+                        help="suppress per-episode progress lines")
+    verify.add_argument("--out", default="results/verify_report.json")
     return parser
 
 
@@ -334,6 +393,7 @@ COMMANDS = {
     "snapshot": cmd_snapshot,
     "chaos": cmd_chaos,
     "bench": cmd_bench,
+    "verify": cmd_verify,
 }
 
 

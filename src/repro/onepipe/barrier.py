@@ -32,6 +32,28 @@ class BarrierRegisterFile:
         self._registers: Dict[Hashable, int] = {}
         self._pending: Dict[Hashable, int] = {}
         self._min_cache: Optional[int] = None
+        # Optional structured tracing of membership transitions (link
+        # add/join/remove and pending→active promotion).  These are the
+        # rare events that change which links constrain the minimum —
+        # exactly what a conformance debugging session needs — so the
+        # per-update hot path stays untouched when tracing is off.
+        self._tracer = None
+        self._trace_id = ""
+        self._trace_sim = None
+
+    def attach_tracer(self, tracer, component: str, sim) -> None:
+        """Record membership transitions to ``tracer`` as ``component``."""
+        self._tracer = tracer
+        self._trace_id = component
+        self._trace_sim = sim
+
+    def _trace(self, event: str, link_id: Hashable, **fields) -> None:
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.trace(
+                self._trace_sim.now, self._trace_id, event,
+                link=str(link_id), minimum=self.minimum(), **fields,
+            )
 
     # ------------------------------------------------------------------
     # Membership
@@ -42,6 +64,8 @@ class BarrierRegisterFile:
             raise ValueError(f"link already registered: {link_id!r}")
         self._registers[link_id] = initial
         self._invalidate()
+        if self._tracer is not None:
+            self._trace("link_add", link_id, initial=initial)
 
     def join_link(self, link_id: Hashable) -> None:
         """Add a link in *pending* state (paper §4.2, link addition).
@@ -52,6 +76,8 @@ class BarrierRegisterFile:
         if link_id in self._registers or link_id in self._pending:
             raise ValueError(f"link already registered: {link_id!r}")
         self._pending[link_id] = 0
+        if self._tracer is not None:
+            self._trace("link_join", link_id)
 
     def remove_link(self, link_id: Hashable) -> None:
         """Drop a (dead) link so the minimum can advance (§4.2)."""
@@ -60,6 +86,31 @@ class BarrierRegisterFile:
         if removed is None and pending_removed is None:
             raise KeyError(f"unknown link: {link_id!r}")
         self._invalidate()
+        if self._tracer is not None:
+            self._trace(
+                "link_remove", link_id,
+                last=removed if removed is not None else pending_removed,
+            )
+
+    def demote_link(self, link_id: Hashable) -> None:
+        """Move an active link back to *pending* state.
+
+        Used when a link reported dead comes back to life before the
+        controller's Resume evicts it: its register still holds the
+        stale pre-failure promise, and the revived neighbor's barrier
+        may have regressed arbitrarily far behind the active minimum —
+        left active, that one register would wedge the commit plane
+        cluster-wide.  Pending, it is excluded from the minimum until
+        it catches up (same §4.2 rule as a newly joining link).
+        No-op if the link is already pending.
+        """
+        if link_id in self._pending:
+            return
+        value = self._registers.pop(link_id)  # KeyError if unknown
+        self._pending[link_id] = 0
+        self._invalidate()
+        if self._tracer is not None:
+            self._trace("link_demote", link_id, last=value)
 
     def has_link(self, link_id: Hashable) -> bool:
         return link_id in self._registers or link_id in self._pending
@@ -85,6 +136,8 @@ class BarrierRegisterFile:
             if self._pending[link_id] >= self.minimum():
                 self._registers[link_id] = self._pending.pop(link_id)
                 self._invalidate()
+                if self._tracer is not None:
+                    self._trace("link_promote", link_id, barrier=barrier)
             return
         current = self._registers.get(link_id)
         if current is None:

@@ -37,6 +37,7 @@ from repro.net.topology import Topology
 from repro.onepipe.config import OnePipeConfig
 from repro.onepipe.failure import DeadLinkReport, determine
 from repro.sim import Simulator
+from repro.sim.trace import GLOBAL_TRACER
 
 
 class LocalReplicator:
@@ -86,6 +87,7 @@ class Controller:
         self.topology = topology
         self.config = config
         self.directory = directory
+        self._tracer = getattr(sim, "tracer", None) or GLOBAL_TRACER
         self.replicator = replicator if replicator is not None else LocalReplicator()
         # Wired by the cluster after construction.
         self.agents: Dict[str, Any] = {}     # host_id -> HostAgent
@@ -144,6 +146,12 @@ class Controller:
     def _receive_report(self, report: DeadLinkReport) -> None:
         if self._episode is None:
             self._episode = RecoveryRecord(self.sim.now)
+        if self._tracer.enabled:
+            self._tracer.trace(
+                self.sim.now, "controller", "dead_link_report",
+                reporter=report.reporter, link=report.link.name,
+                last_commit=report.last_commit,
+            )
         self._reports.append(report)
         self._report_engines[report.link] = self.engines.get(report.reporter)
         self._episode.dead_links.append(report.link.name)
@@ -174,6 +182,12 @@ class Controller:
                 self.failed_procs[proc_id] = failure_ts
                 new_failures.append((proc_id, failure_ts))
         episode.failed_procs = list(new_failures)
+        if self._tracer.enabled:
+            self._tracer.trace(
+                self.sim.now, "controller", "determine",
+                failed_procs=tuple(new_failures),
+                dead_links=tuple(sorted(episode.dead_links)),
+            )
 
         def _committed() -> None:
             if new_failures:
@@ -241,6 +255,12 @@ class Controller:
         self._all_dead_links.update(report.link for report in self._reports)
         self.sim.schedule(self.config.ctrl_delay_ns, self._reroute)
         episode.resume_time = self.sim.now + self.config.ctrl_delay_ns
+        if self._tracer.enabled:
+            self._tracer.trace(
+                self.sim.now, "controller", "resume",
+                dead_links=len(self._reports),
+                failed_procs=tuple(p for p, _ts in episode.failed_procs),
+            )
         self.recoveries.append(episode)
         self._episode = None
         self._reports = []
@@ -268,6 +288,12 @@ class Controller:
 
     def _forward(self, sender, msg) -> None:
         self.forwarded_messages += 1
+        if self._tracer.enabled:
+            self._tracer.trace(
+                self.sim.now, "controller", "forward",
+                src=sender.proc_id, dst=msg.dst, msg_id=msg.msg_id,
+                ts=msg.ts,
+            )
         target = self.proc_endpoints.get(msg.dst)
         target_failed = (
             msg.dst in self.failed_procs

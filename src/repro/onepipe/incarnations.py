@@ -79,6 +79,12 @@ class _OrderingEngineBase:
     # ------------------------------------------------------------------
     def attach(self, switch: Switch) -> None:
         self.switch = switch
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            self.be.attach_tracer(tracer, f"{switch.node_id}.be", self.sim)
+            self.commit.attach_tracer(
+                tracer, f"{switch.node_id}.commit", self.sim
+            )
         for link in switch.in_links:
             self.be.add_link(link)
             self.commit.add_link(link)
@@ -167,6 +173,13 @@ class _OrderingEngineBase:
             self.be.join_link(link)
         if not self.commit.has_link(link):
             self.commit.join_link(link)
+        else:
+            # Reported dead but still active in the commit plane (the
+            # controller's Resume hasn't evicted it): its stale register
+            # value would wedge the commit barrier permanently, since
+            # Resume skips links no longer dead.  Demote to pending so
+            # it only counts again once it has caught up.
+            self.commit.demote_link(link)
 
     # ------------------------------------------------------------------
     def _emit_beacon(self, out_link: Link) -> None:

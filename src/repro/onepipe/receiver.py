@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.packet import Packet, PacketKind
 from repro.onepipe.config import OnePipeConfig
+from repro.sim.trace import GLOBAL_TRACER
 
 # Delivered-message callback: fn(ts, src, payload, reliable) -> None.
 DeliverCallback = Callable[[int, int, Any, bool], None]
@@ -59,6 +60,8 @@ class ProcessReceiver:
         self.sim = agent.sim
         self.proc_id = proc_id
         self.config = config
+        self._tracer = getattr(self.sim, "tracer", None) or GLOBAL_TRACER
+        self._trace_id = f"recv.{proc_id}"
         self.deliver_callback: Optional[DeliverCallback] = None
         # Reorder buffer: (ts, src, msg_id, reliable, payload, size, key)
         # where key is the (src, msg_id) tuple — carried along so flush can
@@ -141,6 +144,12 @@ class ProcessReceiver:
         if ts < floor:
             # Arrived after its barrier already passed: too late (§4.1).
             self.late_naks += 1
+            if self._tracer.enabled:
+                self._tracer.trace(
+                    self.sim.now, self._trace_id, "late_nak",
+                    ts=ts, src=packet.src, msg_id=packet.msg_id,
+                    reliable=reliable, floor=floor,
+                )
             self._send_nak(packet)
             return
         self._send_ack(packet, ecn=entry.ecn)
@@ -216,6 +225,15 @@ class ProcessReceiver:
     ) -> None:
         self.delivered_count += 1
         self.last_delivered_ts = ts
+        if self._tracer.enabled:
+            # The delivery trace the conformance checker (repro.verify)
+            # diffs against the reference oracle: unlike the public
+            # Message callback it carries the wire-level msg_id.
+            self._tracer.trace(
+                self.sim.now, self._trace_id, "deliver",
+                ts=ts, src=src, msg_id=msg_id, reliable=reliable,
+                payload=payload,
+            )
         delivered = self._delivered_ids.setdefault(src, {})
         delivered[msg_id] = ts
         if len(delivered) > 4096:
@@ -272,6 +290,12 @@ class ProcessReceiver:
                 del self._assembling[key]
                 discarded += 1
         self.discarded_on_failure += discarded
+        if self._tracer.enabled:
+            self._tracer.trace(
+                self.sim.now, self._trace_id, "discard_from",
+                failed_proc=failed_proc, failure_ts=failure_ts,
+                discarded=discarded,
+            )
         return discarded
 
     def discard_message(self, src: int, msg_id: int) -> bool:

@@ -33,6 +33,7 @@ from repro.net.packet import Packet, PacketKind, fragment_sizes
 from repro.net.transport import SendWindow
 from repro.onepipe.config import OnePipeConfig
 from repro.sim import Future
+from repro.sim.trace import GLOBAL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.onepipe.hostagent import HostAgent
@@ -126,6 +127,8 @@ class ProcessSender:
         self.clock = agent.clock
         self.proc_id = proc_id
         self.config = config
+        self._tracer = getattr(self.sim, "tracer", None) or GLOBAL_TRACER
+        self._trace_id = f"send.{proc_id}"
         self.max_wait_queue = max_wait_queue
         self.windows: Dict[int, SendWindow] = {}
         self.wait_queue: deque[Scattering] = deque()
@@ -346,6 +349,12 @@ class ProcessSender:
     # Timestamp assignment (called by the host agent at NIC egress)
     # ------------------------------------------------------------------
     def on_ts_assigned(self, scattering: Scattering, ts: int) -> None:
+        if self._tracer.enabled:
+            self._tracer.trace(
+                self.sim.now, self._trace_id, "ts_assign",
+                ts=ts, reliable=scattering.reliable,
+                msg_ids=tuple(m.msg_id for m in scattering.msgs),
+            )
         for msg in scattering.msgs:
             msg.ts = ts
             if msg.reliable:
@@ -404,6 +413,12 @@ class ProcessSender:
             return
         msg.failed = True
         self.send_failures += 1
+        if self._tracer.enabled:
+            self._tracer.trace(
+                self.sim.now, self._trace_id, "send_fail",
+                msg_id=msg.msg_id, dst=msg.dst, reliable=msg.reliable,
+                ts=msg.ts,
+            )
         if msg.timer is not None:
             msg.timer.cancel()
             msg.timer = None

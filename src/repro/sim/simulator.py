@@ -23,6 +23,7 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.sim.events import EventHandle
 from repro.sim.randomness import RngStreams
+from repro.sim.trace import Tracer
 
 
 class SimulationError(RuntimeError):
@@ -67,6 +68,11 @@ class Simulator:
         self._rngs = RngStreams(seed)
         self._events_processed = 0
         self._heap_tombstones = 0
+        # Structured tracing, disabled by default.  Components cache this
+        # object at construction time, so enable it *in place*
+        # (``sim.tracer.enabled = True``) before building a cluster rather
+        # than replacing the attribute afterwards.
+        self.tracer = Tracer(enabled=False)
 
     # ------------------------------------------------------------------
     # Scheduling

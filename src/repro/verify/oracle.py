@@ -1,0 +1,270 @@
+"""Reference oracle for the §2.1 delivery contract.
+
+The oracle is deliberately *not* a simulator: it is a few dozen lines of
+pure Python over plain data, simple enough to audit by eye, so that when
+it disagrees with the real protocol stack the stack is presumed wrong.
+
+Inputs (an :class:`EpisodeObservation`, extracted from a run):
+
+- every sent message with the timestamp the host agent assigned at NIC
+  egress (``None`` if the message never left the send queue);
+- the completion outcome of every scattering (the sender-visible 2PC
+  result for reliable, "handed to the network" for best effort);
+- the failure cutoffs the controller determined (failed proc → failure
+  timestamp) and the set of processes that ever failed;
+- the per-receiver delivery traces recorded by the expanded
+  :class:`repro.sim.trace.Tracer`.
+
+The contract, as checkable statements:
+
+- **O1 total order** — each receiver's delivery sequence is exactly its
+  own messages sorted by the global key ``(ts, src, msg_id)``.  (This is
+  the *unique legal order* of the delivered set; it also implies
+  cross-receiver agreement, since all receivers sort by the same key.)
+- **O2 at-most-once** — no ``msg_id`` is delivered twice at a receiver.
+- **O3 no fabrication** — everything delivered was sent, to that
+  receiver, with that payload, service class, and timestamp.
+- **O4 per-pair FIFO** — messages of one sender-receiver pair are
+  delivered in send order.
+- **O5 failure cutoff** — once a receiver has been told to discard a
+  failed sender (its ``discard_from`` notice, carrying the controller's
+  failure timestamp), it delivers nothing from that sender at or beyond
+  the cutoff.  The atomicity is *restricted* (§5.2): deliveries that
+  happened before the notice cannot be retracted and are legal even if
+  the eventually-determined cutoff is below their timestamps (the
+  application handles those through failure notification callbacks).
+- **O6 reliable completion** — a reliable scattering whose sender saw
+  completion, from a sender that never failed, is delivered at every
+  destination that never failed (requires a drained run: commit barriers
+  must have passed the last timestamps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class SentMessage:
+    """One message of a scattering, as the sender issued it."""
+
+    msg_id: int
+    src: int
+    dst: int
+    reliable: bool
+    payload: Any
+    ts: Optional[int]        # NIC-egress timestamp; None if never dispatched
+    scattering: int          # index of the owning scattering, in send order
+    pair_seq: int            # send sequence number within the (src, dst) pair
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One record of a receiver's delivery trace."""
+
+    time: int                # simulated time of the delivery decision
+    receiver: int
+    ts: int
+    src: int
+    msg_id: int
+    reliable: bool
+    payload: Any
+
+    def key(self) -> Tuple[int, int, int]:
+        """The global total-order key (paper §2.1)."""
+        return (self.ts, self.src, self.msg_id)
+
+
+@dataclass
+class EpisodeObservation:
+    """Everything the oracle needs, extracted from one episode run."""
+
+    sends: List[SentMessage]
+    completions: Dict[int, Optional[bool]]   # scattering index -> outcome
+    failure_cutoffs: Dict[int, int]          # failed proc -> failure ts
+    failed_procs: Set[int]                   # procs that ever failed/closed
+    deliveries: Dict[int, List[Delivery]]    # receiver -> chronological trace
+    # receiver -> [(notice time, failed proc, cutoff ts)]: when each
+    # receiver was told to discard a failed sender (its discard_from
+    # call).  O5 is enforceable only from this moment on.
+    cutoff_notices: Dict[int, List[Tuple[int, int, int]]] = field(
+        default_factory=dict
+    )
+
+
+@dataclass
+class Divergence:
+    """One disagreement between the actual trace and the oracle."""
+
+    kind: str                # "order", "duplicate", "fabrication", ...
+    detail: str
+    receiver: Optional[int] = None
+    index: Optional[int] = None     # position in the delivery trace, if any
+    seed: Optional[int] = None      # replay coordinates, stamped by the runner
+    episode: Optional[int] = None
+    mode: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        where = f" seed={self.seed} mode={self.mode}" if self.seed else ""
+        return f"[{self.kind}] {self.detail}{where}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "receiver": self.receiver,
+            "index": self.index,
+            "seed": self.seed,
+            "episode": self.episode,
+            "mode": self.mode,
+        }
+
+
+class ReferenceOracle:
+    """Compute the legal outcome of an episode and diff the actual one."""
+
+    def __init__(self, observation: EpisodeObservation) -> None:
+        self.obs = observation
+        self._by_id: Dict[int, SentMessage] = {
+            sent.msg_id: sent for sent in observation.sends
+        }
+
+    # ------------------------------------------------------------------
+    # The oracle's own answers
+    # ------------------------------------------------------------------
+    def expected_order(self, receiver: int) -> List[Delivery]:
+        """The unique legal order of what ``receiver`` actually delivered:
+        its delivered messages sorted by the global key."""
+        return sorted(
+            self.obs.deliveries.get(receiver, ()), key=Delivery.key
+        )
+
+    def required_reliable(self, receiver: int) -> List[SentMessage]:
+        """Reliable messages that MUST appear in ``receiver``'s trace:
+        entries of completed scatterings between never-failed processes."""
+        out = []
+        for sent in self.obs.sends:
+            if not sent.reliable or sent.dst != receiver:
+                continue
+            if sent.src in self.obs.failed_procs:
+                continue
+            if receiver in self.obs.failed_procs:
+                continue
+            if self.obs.completions.get(sent.scattering) is True:
+                out.append(sent)
+        return out
+
+    # ------------------------------------------------------------------
+    # Conformance checking
+    # ------------------------------------------------------------------
+    def check(self) -> List[Divergence]:
+        """Diff every receiver's trace against the contract.
+
+        Returns divergences in detection order: trace-level problems
+        (fabrication, duplicates, ordering, FIFO, cutoffs) first, per
+        receiver, then missing reliable deliveries.
+        """
+        out: List[Divergence] = []
+        for receiver in sorted(self.obs.deliveries):
+            out.extend(self._check_trace(receiver))
+        out.extend(self._check_reliable_completion())
+        return out
+
+    def _check_trace(self, receiver: int) -> List[Divergence]:
+        out: List[Divergence] = []
+        trace = self.obs.deliveries[receiver]
+        seen: Set[int] = set()
+        clean: List[Delivery] = []
+        pair_pos: Dict[int, int] = {}
+        # Earliest discard notice this receiver got per failed sender.
+        notices: Dict[int, Tuple[int, int]] = {}
+        for time, proc, cutoff in self.obs.cutoff_notices.get(receiver, ()):
+            if proc not in notices or time < notices[proc][0]:
+                notices[proc] = (time, cutoff)
+        for index, delivery in enumerate(trace):
+            sent = self._by_id.get(delivery.msg_id)
+            if (
+                sent is None
+                or sent.dst != receiver
+                or sent.src != delivery.src
+                or sent.reliable != delivery.reliable
+                or sent.payload != delivery.payload
+                or sent.ts != delivery.ts
+            ):
+                out.append(Divergence(
+                    "fabrication",
+                    f"receiver {receiver} delivered msg_id={delivery.msg_id} "
+                    f"(ts={delivery.ts}, src={delivery.src}) that does not "
+                    f"match any send",
+                    receiver=receiver, index=index,
+                ))
+                continue
+            if delivery.msg_id in seen:
+                out.append(Divergence(
+                    "duplicate",
+                    f"receiver {receiver} delivered msg_id={delivery.msg_id} "
+                    f"twice",
+                    receiver=receiver, index=index,
+                ))
+                continue
+            seen.add(delivery.msg_id)
+            # O5: failure cutoff, from the discard notice onward.
+            notice = notices.get(sent.src)
+            if (
+                notice is not None
+                and delivery.time > notice[0]
+                and sent.ts >= notice[1]
+            ):
+                out.append(Divergence(
+                    "failure_cutoff",
+                    f"receiver {receiver} delivered "
+                    f"msg_id={delivery.msg_id} ts={sent.ts} from failed "
+                    f"process {sent.src} after being told at t="
+                    f"{notice[0]} to discard from ts {notice[1]}",
+                    receiver=receiver, index=index,
+                ))
+            # O4: per-pair FIFO in send order.
+            last = pair_pos.get(sent.src)
+            if last is not None and sent.pair_seq <= last:
+                out.append(Divergence(
+                    "pair_fifo",
+                    f"receiver {receiver} delivered send #{sent.pair_seq} "
+                    f"of pair ({sent.src}->{receiver}) after send #{last}",
+                    receiver=receiver, index=index,
+                ))
+            else:
+                pair_pos[sent.src] = sent.pair_seq
+            clean.append(delivery)
+        # O1: the delivered sequence equals its own sorted order.
+        expected = sorted(clean, key=Delivery.key)
+        for position, (actual, legal) in enumerate(zip(clean, expected)):
+            if actual.msg_id != legal.msg_id:
+                out.append(Divergence(
+                    "order",
+                    f"receiver {receiver} delivery #{position} is "
+                    f"msg_id={actual.msg_id} key={actual.key()} but the "
+                    f"unique legal order puts msg_id={legal.msg_id} "
+                    f"key={legal.key()} there",
+                    receiver=receiver, index=position,
+                ))
+                break  # later positions are all shifted; report the first
+        return out
+
+    def _check_reliable_completion(self) -> List[Divergence]:
+        out: List[Divergence] = []
+        for receiver in sorted(self.obs.deliveries):
+            delivered_ids = {
+                d.msg_id for d in self.obs.deliveries[receiver]
+            }
+            for sent in self.required_reliable(receiver):
+                if sent.msg_id not in delivered_ids:
+                    out.append(Divergence(
+                        "reliable_missing",
+                        f"completed reliable scattering #{sent.scattering} "
+                        f"from {sent.src}: msg_id={sent.msg_id} "
+                        f"(ts={sent.ts}) never delivered at {receiver}",
+                        receiver=receiver,
+                    ))
+        return out

@@ -1,0 +1,181 @@
+"""Drive fuzzed episodes across incarnations and report conformance.
+
+``VerifyRunner`` is the engine behind ``python -m repro.cli verify``:
+it generates ``episodes`` seeded workloads, replays each on every
+requested switch incarnation, diffs the delivery traces against the
+:class:`repro.verify.oracle.ReferenceOracle`, and — on the first
+divergence — shrinks the failing episode to a minimal reproducer whose
+replay coordinates (seed, episode, mode) land in the JSON report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.onepipe.config import MODES
+from repro.verify.episodes import (
+    EpisodeRun,
+    EpisodeSpec,
+    VerifyHarnessError,
+    generate_episode,
+    replay_episode,
+)
+from repro.verify.oracle import Divergence, ReferenceOracle
+from repro.verify.shrink import shrink_episode
+
+# Same convention as the chaos campaign: episode seeds are far apart so
+# the named RNG streams of different episodes never collide.
+EPISODE_SEED_STRIDE = 1_000_003
+
+
+def episode_seed(seed: int, episode: int) -> int:
+    return seed * EPISODE_SEED_STRIDE + episode
+
+
+def check_episode(
+    spec: EpisodeSpec,
+    mutate: Optional[Callable[..., None]] = None,
+) -> Tuple[EpisodeRun, List[Divergence]]:
+    """Replay ``spec`` and diff its traces against the oracle.
+
+    Every divergence is stamped with the spec's replay coordinates so a
+    report line alone is enough to reproduce it.
+    """
+    run = replay_episode(spec, mutate=mutate)
+    divergences = ReferenceOracle(run.observation).check()
+    for divergence in divergences:
+        divergence.seed = spec.seed
+        divergence.episode = spec.episode
+        divergence.mode = spec.mode
+    return run, divergences
+
+
+class VerifyRunner:
+    """N fuzzed episodes x M incarnations -> deterministic report."""
+
+    def __init__(
+        self,
+        seed: int = 1,
+        episodes: int = 10,
+        modes: Optional[Sequence[str]] = None,
+        scale: str = "small",
+        n_faults: int = 3,
+        shrink: bool = True,
+        max_shrink_replays: int = 60,
+        mutate: Optional[Callable[..., None]] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.seed = seed
+        self.episodes = episodes
+        self.modes = tuple(modes) if modes else MODES
+        self.scale = scale
+        self.n_faults = n_faults
+        self.shrink = shrink
+        self.max_shrink_replays = max_shrink_replays
+        self.mutate = mutate
+        self.progress = progress or (lambda _line: None)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, Any]:
+        results: List[Dict[str, Any]] = []
+        all_divergences: List[Divergence] = []
+        harness_errors: List[Dict[str, Any]] = []
+        shrunk: Optional[Dict[str, Any]] = None
+
+        for index in range(self.episodes):
+            ep_seed = episode_seed(self.seed, index)
+            for mode in self.modes:
+                spec = generate_episode(
+                    seed=ep_seed,
+                    episode=index,
+                    mode=mode,
+                    scale=self.scale,
+                    n_faults=self.n_faults,
+                )
+                try:
+                    run, divergences = check_episode(spec, mutate=self.mutate)
+                except VerifyHarnessError as exc:
+                    harness_errors.append({
+                        "episode": index,
+                        "mode": mode,
+                        "seed": ep_seed,
+                        "error": str(exc),
+                    })
+                    self.progress(
+                        f"episode {index} mode={mode}: harness error: {exc}"
+                    )
+                    continue
+                results.append({
+                    "episode": index,
+                    "mode": mode,
+                    "seed": ep_seed,
+                    "sends_issued": run.sends_issued,
+                    "sends_skipped": run.sends_skipped,
+                    "messages_delivered": run.messages_delivered,
+                    "late_naks": run.late_naks,
+                    "faults": len(spec.faults),
+                    "divergences": [d.to_dict() for d in divergences],
+                })
+                self.progress(
+                    f"episode {index} mode={mode}: "
+                    f"{run.messages_delivered} delivered, "
+                    f"{len(divergences)} divergences"
+                )
+                all_divergences.extend(divergences)
+                if divergences and self.shrink and shrunk is None:
+                    shrunk = self._shrink(spec)
+        report: Dict[str, Any] = {
+            "schema": "repro.verify/1",
+            "seed": self.seed,
+            "episodes": self.episodes,
+            "modes": list(self.modes),
+            "scale": self.scale,
+            "n_faults": self.n_faults,
+            "episodes_run": len(results),
+            "divergence_count": len(all_divergences),
+            "harness_errors": harness_errors,
+            "results": results,
+            "ok": not all_divergences and not harness_errors,
+        }
+        if shrunk is not None:
+            report["shrunk_reproducer"] = shrunk
+        return report
+
+    # ------------------------------------------------------------------
+    def _shrink(self, spec: EpisodeSpec) -> Dict[str, Any]:
+        self.progress(
+            f"shrinking episode {spec.episode} mode={spec.mode} "
+            f"({len(spec.sends)} sends, {len(spec.faults)} faults)..."
+        )
+
+        def diverges(candidate: EpisodeSpec) -> bool:
+            _run, divs = check_episode(candidate, mutate=self.mutate)
+            return bool(divs)
+
+        small, replays = shrink_episode(
+            spec, diverges, max_replays=self.max_shrink_replays
+        )
+        _run, divs = check_episode(small, mutate=self.mutate)
+        self.progress(
+            f"shrunk to {len(small.sends)} sends, {len(small.faults)} faults "
+            f"in {replays} replays"
+        )
+        return {
+            "replays": replays,
+            "sends": len(small.sends),
+            "faults": len(small.faults),
+            "first_divergence": divs[0].to_dict() if divs else None,
+            "spec": small.to_dict(),
+        }
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write a verification report as stable (byte-identical) JSON."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,98 @@
+"""Greedy shrinking of a failing episode to a minimal reproducer.
+
+Classic delta debugging, specialized to an :class:`EpisodeSpec`'s two
+axes:
+
+1. **faults** — try dropping each fault event (rarest, most entangled
+   component first: a reproducer with fewer faults is far easier to
+   reason about);
+2. **sends** — ddmin-style chunk removal: try deleting halves, then
+   quarters, and so on down to single sends.
+
+Each candidate spec is replayed from scratch (``diverges`` callback), so
+the shrunk spec is *known* to still fail, and the whole pass is bounded
+by ``max_replays`` — shrinking a pathological episode degrades to a
+partial shrink, never a hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Tuple
+
+from repro.verify.episodes import EpisodeSpec
+
+
+def shrink_episode(
+    spec: EpisodeSpec,
+    diverges: Callable[[EpisodeSpec], bool],
+    max_replays: int = 200,
+) -> Tuple[EpisodeSpec, int]:
+    """Return a smaller spec for which ``diverges`` still holds.
+
+    ``diverges(spec)`` must replay the spec and return True when the
+    divergence is still present.  The input spec is assumed to diverge.
+    Returns ``(shrunk_spec, replays_used)``.
+    """
+    replays = [0]
+
+    def still_fails(candidate: EpisodeSpec) -> Optional[bool]:
+        if replays[0] >= max_replays:
+            return None  # budget exhausted: treat as "don't know"
+        replays[0] += 1
+        try:
+            return bool(diverges(candidate))
+        except Exception:
+            # A candidate that crashes the harness is not a reproducer
+            # of *this* divergence; keep looking.
+            return False
+
+    spec = _shrink_faults(spec, still_fails)
+    spec = _shrink_sends(spec, still_fails)
+    # Dropping sends sometimes makes previously load-bearing faults
+    # droppable; one more fault pass catches the common case.
+    spec = _shrink_faults(spec, still_fails)
+    return spec, replays[0]
+
+
+def _shrink_faults(spec: EpisodeSpec, still_fails) -> EpisodeSpec:
+    index = 0
+    while index < len(spec.faults):
+        candidate = replace(
+            spec, faults=spec.faults[:index] + spec.faults[index + 1:]
+        )
+        verdict = still_fails(candidate)
+        if verdict is None:
+            break
+        if verdict:
+            spec = candidate       # fault was irrelevant: keep it dropped
+        else:
+            index += 1             # load-bearing: move on
+    return spec
+
+
+def _shrink_sends(spec: EpisodeSpec, still_fails) -> EpisodeSpec:
+    n_chunks = 2
+    while len(spec.sends) >= n_chunks:
+        chunk = max(1, len(spec.sends) // n_chunks)
+        shrunk_this_pass = False
+        start = 0
+        while start < len(spec.sends):
+            candidate = replace(
+                spec, sends=spec.sends[:start] + spec.sends[start + chunk:]
+            )
+            verdict = still_fails(candidate)
+            if verdict is None:
+                return spec
+            if verdict:
+                spec = candidate   # chunk removed; retry same offset
+                shrunk_this_pass = True
+            else:
+                start += chunk
+        if chunk == 1 and not shrunk_this_pass:
+            break
+        if not shrunk_this_pass:
+            n_chunks *= 2          # finer granularity
+        else:
+            n_chunks = max(2, n_chunks // 2)
+    return spec

@@ -65,3 +65,99 @@ def test_chaos_campaign(tmp_path, capsys):
     report = json.loads(open(out).read())
     assert report["ok"] is True
     assert len(report["episode_reports"]) == 2
+
+
+def test_chaos_same_seed_byte_identical_reports(tmp_path, capsys):
+    args = ["--episodes", "1", "--processes", "8", "--faults", "2",
+            "--mode", "chip"]
+    out_a = str(tmp_path / "a.json")
+    out_b = str(tmp_path / "b.json")
+    # Subcommand --seed and global --seed are the same knob.
+    assert main(["chaos", "--seed", "9", *args, "--out", out_a]) == 0
+    assert main(["--seed", "9", "chaos", *args, "--out", out_b]) == 0
+    capsys.readouterr()
+    a = open(out_a, "rb").read()
+    assert a == open(out_b, "rb").read()
+    # And a different seed changes the report.
+    out_c = str(tmp_path / "c.json")
+    assert main(["chaos", "--seed", "10", *args, "--out", out_c]) == 0
+    capsys.readouterr()
+    assert a != open(out_c, "rb").read()
+
+
+def test_bench_accepts_subcommand_seed(tmp_path, capsys):
+    import json
+    out = str(tmp_path / "bench.json")
+    assert main([
+        "bench", "--seed", "7", "--scale", "0.02",
+        "--only", "event_loop", "--out", out,
+    ]) == 0
+    capsys.readouterr()
+    report = json.loads(open(out).read())
+    assert report["seed"] == 7
+
+
+def test_verify_clean_run(tmp_path, capsys):
+    import json
+    out = str(tmp_path / "verify.json")
+    assert main([
+        "verify", "--episodes", "1", "--seed", "9", "--mode", "chip",
+        "--out", out,
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "0 oracle divergences" in text
+    report = json.loads(open(out).read())
+    assert report["schema"] == "repro.verify/1"
+    assert report["ok"] is True
+    assert report["seed"] == 9
+    assert report["divergence_count"] == 0
+    assert report["harness_errors"] == []
+    assert len(report["results"]) == 1
+    result = report["results"][0]
+    assert result["mode"] == "chip"
+    assert result["messages_delivered"] > 0
+    assert result["divergences"] == []
+
+
+def test_verify_zero_episodes(tmp_path, capsys):
+    import json
+    out = str(tmp_path / "verify.json")
+    assert main(["verify", "--episodes", "0", "--out", out]) == 0
+    capsys.readouterr()
+    report = json.loads(open(out).read())
+    assert report["ok"] is True
+    assert report["episodes_run"] == 0
+    assert report["results"] == []
+
+
+def test_verify_divergence_exits_nonzero(tmp_path, capsys, monkeypatch):
+    import json
+
+    from repro.verify import runner as runner_mod
+    from repro.verify.oracle import Divergence
+
+    real_check = runner_mod.check_episode
+
+    def broken_check(spec, mutate=None):
+        run, divergences = real_check(spec, mutate=mutate)
+        divergences.append(Divergence(
+            "order", "synthetic divergence for the exit-code test",
+            receiver=0, index=0, seed=spec.seed, episode=spec.episode,
+            mode=spec.mode,
+        ))
+        return run, divergences
+
+    monkeypatch.setattr(runner_mod, "check_episode", broken_check)
+    out = str(tmp_path / "verify.json")
+    assert main([
+        "verify", "--episodes", "1", "--mode", "chip", "--no-shrink",
+        "--quiet", "--out", out,
+    ]) == 1
+    err = capsys.readouterr().err
+    assert "DIVERGENCE [order]" in err
+    report = json.loads(open(out).read())
+    assert report["ok"] is False
+    assert report["divergence_count"] == 1
+    div = report["results"][0]["divergences"][0]
+    assert div["kind"] == "order"
+    assert div["mode"] == "chip"
