@@ -130,7 +130,7 @@ class OnePipeKVS:
         endpoint = self.cluster.endpoint(initiator)
         if kind == "ro":
             endpoint.unreliable_send(entries)
-            pending.timer = self.sim.schedule(
+            pending.timer = self.sim.schedule_timer(
                 self.ro_retry_timeout_ns, self._ro_timeout, txn_id
             )
         else:

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import sys
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -31,6 +33,8 @@ from repro.sim import Simulator
 
 BENCH_SCHEMA_VERSION = 1
 DEFAULT_OUT = "BENCH_core.json"
+# Default report path per suite (the committed baselines at the repo root).
+SUITE_OUT = {"core": "BENCH_core.json", "scale": "BENCH_scale.json"}
 
 
 class BenchResult:
@@ -211,11 +215,19 @@ def bench_e2e(seed: int, scale: float, mode: str) -> BenchResult:
         else:
             sent[0] += 1
 
-    for s in range(n):
-        sim.every(10_000, blast, s)
+    tasks = [sim.every(10_000, blast, s) for s in range(n)]
     window = max(200_000, int(1_500_000 * scale))
+    # Stop the senders at the horizon, then drain: in-flight messages
+    # (queued, serializing, or awaiting the commit barrier) complete, so
+    # delivered == sent and the metrics stay deterministic instead of
+    # depending on how the horizon slices the pipeline.
+    drain_ns = 1_000_000
     start = time.perf_counter()
     sim.run(until=window)
+    in_flight = sent[0] - delivered[0]
+    for task in tasks:
+        task.cancel()
+    sim.run(until=window + drain_ns)
     wall = time.perf_counter() - start
     return BenchResult(
         f"e2e_{mode}",
@@ -223,8 +235,9 @@ def bench_e2e(seed: int, scale: float, mode: str) -> BenchResult:
         {
             "messages_sent": sent[0],
             "messages_delivered": delivered[0],
+            "in_flight_at_horizon": in_flight,
             "events": sim.events_processed,
-            "simulated_ns": window,
+            "simulated_ns": window + drain_ns,
         },
         {
             "messages_per_sec": delivered[0] / wall if wall > 0 else 0.0,
@@ -281,32 +294,63 @@ BENCHMARKS: Dict[str, Callable[[int, float], BenchResult]] = {
 # ----------------------------------------------------------------------
 # Suite driver + regression checking
 # ----------------------------------------------------------------------
+def suite_registry(suite: str) -> Dict[str, Callable[[int, float], BenchResult]]:
+    """Benchmark registry for a named suite (lazy import for ``scale``)."""
+    if suite == "core":
+        return BENCHMARKS
+    if suite == "scale":
+        from repro.bench.scalebench import SCALE_BENCHMARKS
+
+        return SCALE_BENCHMARKS
+    raise ValueError(f"unknown suite {suite!r}; available: {sorted(SUITE_OUT)}")
+
+
+def environment_meta() -> Dict[str, Any]:
+    """Machine context recorded alongside a suite run.
+
+    Lives under the ``meta`` key, which ``check_against`` deliberately
+    ignores: it exists so humans comparing committed rates across PRs
+    can tell whether two reports came from comparable machines, not to
+    gate anything.
+    """
+    return {
+        "python_version": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def run_suite(
     seed: int = 1,
     scale: float = 1.0,
     only: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[BenchResult], None]] = None,
+    suite: str = "core",
 ) -> Dict[str, Any]:
-    """Run the benchmarks and return the BENCH_core.json payload."""
+    """Run a benchmark suite and return its JSON report payload."""
     if scale <= 0:
         raise ValueError(f"scale must be positive: {scale}")
-    selected = list(BENCHMARKS) if not only else list(only)
-    unknown = [name for name in selected if name not in BENCHMARKS]
+    registry = suite_registry(suite)
+    selected = list(registry) if not only else list(only)
+    unknown = [name for name in selected if name not in registry]
     if unknown:
         raise ValueError(
-            f"unknown benchmarks {unknown}; available: {list(BENCHMARKS)}"
+            f"unknown benchmarks {unknown}; available: {list(registry)}"
         )
     results: Dict[str, Any] = {}
     for name in selected:
-        result = BENCHMARKS[name](seed, scale)
+        result = registry[name](seed, scale)
         results[name] = result.as_dict()
         if progress is not None:
             progress(result)
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
-        "suite": "core",
+        "suite": suite,
         "seed": seed,
         "scale": scale,
+        "meta": environment_meta(),
         "benchmarks": results,
     }
 
@@ -327,6 +371,12 @@ def load_bench(path: str) -> Dict[str, Any]:
         return json.load(fh)
 
 
+# Substring marking a stale-baseline finding; CLI callers treat these as
+# warnings (regenerate the baseline) rather than hard failures, because a
+# faster machine is indistinguishable from a faster kernel.
+STALE_MARKER = "stale baseline"
+
+
 def check_against(
     current: Dict[str, Any],
     baseline: Dict[str, Any],
@@ -340,7 +390,11 @@ def check_against(
       benchmark whose metric/rate key sets changed;
     - perf regression: any shared throughput rate that dropped by more
       than ``tolerance``× against the baseline (wall-clock rates are
-      machine-dependent, hence the generous default factor).
+      machine-dependent, hence the generous default factor);
+    - stale baseline: any shared rate that *improved* by more than
+      ``tolerance``× — the committed baseline no longer reflects
+      reality and should be regenerated.  These entries contain
+      :data:`STALE_MARKER` so callers can downgrade them to warnings.
     """
     if tolerance < 1.0:
         raise ValueError(f"tolerance must be >= 1.0: {tolerance}")
@@ -376,5 +430,14 @@ def check_against(
                     f"{name}: {rate_name} regressed >"
                     f"{tolerance:g}x ({ours_rate:.0f} vs baseline "
                     f"{baseline_rate:.0f})"
+                )
+            elif ours_rate > baseline_rate * tolerance:
+                out = SUITE_OUT.get(
+                    baseline.get("suite", "core"), DEFAULT_OUT
+                )
+                problems.append(
+                    f"{name}: {rate_name} improved >{tolerance:g}x "
+                    f"({ours_rate:.0f} vs baseline {baseline_rate:.0f}) — "
+                    f"{STALE_MARKER} — regenerate {out}"
                 )
     return problems

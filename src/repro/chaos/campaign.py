@@ -27,6 +27,7 @@ from repro.consensus.raft import RaftGroup, RaftReplicator
 from repro.net.topology import build_testbed
 from repro.onepipe import OnePipeCluster, OnePipeConfig
 from repro.onepipe.config import MODES
+from repro.parallel import run_ordered
 from repro.sim import Simulator
 
 # Sync every 250 us instead of the paper's 125 ms so clock outages and
@@ -118,6 +119,7 @@ class CampaignRunner:
         drain_ns: int = 2_500_000,
         faults_per_episode: int = 4,
         use_raft: bool = False,
+        jobs: int = 1,
         progress=None,
     ) -> None:
         self.seed = seed
@@ -128,6 +130,7 @@ class CampaignRunner:
         self.drain_ns = drain_ns
         self.faults_per_episode = faults_per_episode
         self.use_raft = use_raft
+        self.jobs = jobs
         self.progress = progress
 
     # ------------------------------------------------------------------
@@ -239,14 +242,34 @@ class CampaignRunner:
             },
         }
 
+    def _knobs(self) -> Dict[str, Any]:
+        """The picklable constructor arguments a worker rebuilds from.
+
+        ``progress`` is deliberately excluded (callables don't cross the
+        process boundary; the parent replays progress in merge order)
+        and ``jobs`` too (a worker runs its episodes inline).
+        """
+        return {
+            "seed": self.seed,
+            "episodes": self.episodes,
+            "modes": self.modes,
+            "n_processes": self.n_processes,
+            "horizon_ns": self.horizon_ns,
+            "drain_ns": self.drain_ns,
+            "faults_per_episode": self.faults_per_episode,
+            "use_raft": self.use_raft,
+        }
+
     # ------------------------------------------------------------------
     def run(self) -> Dict[str, Any]:
-        episode_reports = []
-        for index in range(self.episodes):
-            episode_report = self.run_episode(index)
-            episode_reports.append(episode_report)
-            if self.progress is not None:
-                self.progress(episode_report)
+        """Run the campaign; with ``jobs > 1`` episodes fan out over a
+        process pool.  The report is byte-identical for every job count:
+        each episode is a pure function of its episode seed, and reports
+        merge in episode order (the job count never enters the JSON)."""
+        payloads = [(self._knobs(), index) for index in range(self.episodes)]
+        episode_reports = run_ordered(
+            _episode_worker, payloads, jobs=self.jobs, progress=self.progress
+        )
         by_invariant: Dict[str, int] = {}
         for report in episode_reports:
             for violation in report["violations"]:
@@ -273,6 +296,12 @@ class CampaignRunner:
             "messages_sent": sum(r["messages_sent"] for r in episode_reports),
             "ok": total_violations == 0,
         }
+
+
+def _episode_worker(payload) -> Dict[str, Any]:
+    """Run one episode from explicit knobs (module-level so it pickles)."""
+    knobs, index = payload
+    return CampaignRunner(**knobs).run_episode(index)
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:

@@ -147,7 +147,10 @@ class RaftNode:
         timeout = self.election_timeout_ns + self._rng.randrange(
             self.election_timeout_ns
         )
-        self._election_timer = self.sim.schedule(timeout, self._election_timeout)
+        # Reset on every heartbeat: the canonical timing-wheel client.
+        self._election_timer = self.sim.schedule_timer(
+            timeout, self._election_timeout
+        )
 
     def _election_timeout(self) -> None:
         if self.crashed or self.role == LEADER:

@@ -34,7 +34,12 @@ from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from repro.sim import Simulator
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import (
+    BEACON_BYTES,
+    HEADER_OVERHEAD_BYTES,
+    Packet,
+    PacketKind,
+)
 
 _BEACON_KIND = PacketKind.BEACON
 
@@ -121,6 +126,10 @@ class Link:
         # Pre-bound delivery callback: avoids allocating a fresh bound-method
         # object for every packet scheduled.
         self._deliver_cb = self._deliver
+        # Beacons are the dominant packet population at scale and all have
+        # the same wire size, so their serialization time is precomputed
+        # (recomputed when degradation changes the rate).
+        self._beacon_ser_ns = int(BEACON_BYTES / self.bytes_per_ns)
         self.last_tx_time = 0  # last time a packet was enqueued (beacon logic)
         # Last non-beacon enqueue: data packets carry fresh barriers in
         # the programmable-chip incarnation, so links busy with data do
@@ -201,10 +210,14 @@ class Link:
             raise ValueError(f"negative extra delay: {extra_delay_ns}")
         self.degraded_bandwidth_factor = float(bandwidth_factor)
         self.degraded_extra_delay_ns = int(extra_delay_ns)
+        self._beacon_ser_ns = int(
+            BEACON_BYTES / (self.bytes_per_ns * self.degraded_bandwidth_factor)
+        )
 
     def clear_degradation(self) -> None:
         self.degraded_bandwidth_factor = 1.0
         self.degraded_extra_delay_ns = 0
+        self._beacon_ser_ns = int(BEACON_BYTES / self.bytes_per_ns)
 
     @property
     def degraded(self) -> bool:
@@ -249,39 +262,49 @@ class Link:
         sim = self.sim
         now = sim.now
         self.last_tx_time = now
-        if packet.kind != _BEACON_KIND:
+        if packet.kind == _BEACON_KIND:
+            # Fast path: beacons all share one wire size, so the
+            # serialization time is the precomputed per-link constant.
+            size = BEACON_BYTES
+            serialization = self._beacon_ser_ns
+        else:
             self.last_data_tx = now
+            size = packet.payload_bytes + HEADER_OVERHEAD_BYTES
+            serialization = int(
+                size / (self.bytes_per_ns * self.degraded_bandwidth_factor)
+            )
         if not self.up:
             self.dropped_down += 1
             return False
-        if self._backlog_fifo:
-            self._drain_backlog(now)
-        size = packet.wire_bytes
+        fifo = self._backlog_fifo
+        backlog = self._backlog_bytes
+        if fifo:
+            # _drain_backlog, inlined: this runs once per packet sent.
+            while fifo and fifo[0][0] <= now:
+                backlog -= fifo.popleft()[1]
+            self._backlog_bytes = backlog
         if (
             self.queue_capacity_bytes is not None
-            and self._backlog_bytes + size > self.queue_capacity_bytes
+            and backlog + size > self.queue_capacity_bytes
         ):
             self.dropped_overflow += 1
             return False
         if (
             self.ecn_threshold_bytes is not None
-            and self._backlog_bytes > self.ecn_threshold_bytes
+            and backlog > self.ecn_threshold_bytes
         ):
             packet.ecn = True
             self.ecn_marked += 1
 
-        serialization = int(
-            size / (self.bytes_per_ns * self.degraded_bandwidth_factor)
-        )
         busy_until = self._busy_until
         done_serializing = (busy_until if busy_until > now else now) + serialization
         self._busy_until = done_serializing
-        self._backlog_bytes += size
-        self._backlog_fifo.append((done_serializing, size))
+        self._backlog_bytes = backlog + size
+        fifo.append((done_serializing, size))
         self.tx_packets += 1
         self.tx_bytes += size
 
-        sim.schedule_at(
+        sim.post_at(
             done_serializing + self.prop_delay_ns + self.degraded_extra_delay_ns,
             self._deliver_cb,
             packet,

@@ -105,7 +105,7 @@ class Host(Node):
             self.egress_hook(packet)
         self.tx_packets += 1
         if self.nic_delay_ns:
-            self.sim.schedule(self.nic_delay_ns, send, packet)
+            self.sim.post(self.nic_delay_ns, send, packet)
             return True
         return send(packet)
 

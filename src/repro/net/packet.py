@@ -78,6 +78,7 @@ class Packet:
         "ecn",
         "sent_at",
         "meta",
+        "_pooled",
     )
 
     def __init__(
@@ -115,6 +116,7 @@ class Packet:
         self.ecn = False
         self.sent_at = sent_at
         self.meta = meta
+        self._pooled = False
 
     @property
     def wire_bytes(self) -> int:
@@ -127,6 +129,61 @@ class Packet:
             f"ts={self.msg_ts} barrier={self.barrier_ts} "
             f"commit={self.commit_ts} psn={self.psn}>"
         )
+
+
+# ----------------------------------------------------------------------
+# Beacon free list.  Beacons dominate packet allocation at scale (they
+# are O(hosts x switch ports) per interval, §4.3) and have a trivially
+# poolable lifecycle: created at one node, consumed exactly one hop later
+# by an ordering engine or host agent, never retained.  The consumption
+# points call :func:`release_beacon`; dropped beacons (failed links,
+# loss injection, engine-less switches) simply fall to the GC and are
+# not returned — the pool is best-effort by design.
+# ----------------------------------------------------------------------
+
+_beacon_pool: list = []
+_BEACON_POOL_MAX = 512
+
+
+def acquire_beacon(barrier_ts: int = 0, commit_ts: int = 0) -> Packet:
+    """A fresh BEACON packet, recycled from the free list when possible.
+
+    The returned packet has a new ``pkt_id`` and default header fields
+    (``src``/``dst`` -1, empty hosts) exactly like ``Packet(BEACON)``.
+    """
+    pool = _beacon_pool
+    if pool:
+        packet = pool.pop()
+        packet.pkt_id = next(_packet_ids)
+        packet.barrier_ts = barrier_ts
+        packet.commit_ts = commit_ts
+        # Reset the only fields the beacon path dirties (host egress
+        # stamps src_host/sent_at, congested links mark ecn); msg_ts,
+        # meta, psn etc. are never touched on beacons.
+        packet.src_host = ""
+        packet.sent_at = 0
+        packet.ecn = False
+        packet._pooled = True
+        return packet
+    packet = Packet(
+        PacketKind.BEACON, barrier_ts=barrier_ts, commit_ts=commit_ts
+    )
+    packet._pooled = True
+    return packet
+
+
+def release_beacon(packet: Packet) -> None:
+    """Return a consumed beacon to the free list.
+
+    Safe to call on any beacon: packets not acquired from the pool
+    (tests constructing ``Packet(BEACON)`` directly) are ignored, as is
+    a double release.
+    """
+    if not packet._pooled:
+        return
+    packet._pooled = False
+    if len(_beacon_pool) < _BEACON_POOL_MAX:
+        _beacon_pool.append(packet)
 
 
 def fragment_sizes(message_bytes: int, mtu_payload: int = DEFAULT_MTU_PAYLOAD):

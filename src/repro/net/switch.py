@@ -146,9 +146,9 @@ class Switch(Node):
         # Packets arriving on the internal loopback already paid the
         # pipeline delay in the up half of this physical switch.
         if getattr(in_link, "internal", False):
-            self.sim.call_soon(self._forward_cb, packet)
+            self.sim.post(0, self._forward_cb, packet)
         else:
-            self.sim.schedule(self.forwarding_delay_ns, self._forward_cb, packet)
+            self.sim.post(self.forwarding_delay_ns, self._forward_cb, packet)
 
     def _forward(self, packet: Packet) -> None:
         if self.failed:

@@ -128,25 +128,31 @@ class BarrierRegisterFile:
         FIFO links imply barriers arrive non-decreasing; taking the max
         makes the register robust to reordered control traffic too.
         """
-        pending = self._pending.get(link_id)
-        if pending is not None:
-            if barrier > pending:
-                self._pending[link_id] = barrier
-            # Promote once the newcomer caught up with the active minimum.
-            if self._pending[link_id] >= self.minimum():
-                self._registers[link_id] = self._pending.pop(link_id)
-                self._invalidate()
-                if self._tracer is not None:
-                    self._trace("link_promote", link_id, barrier=barrier)
-            return
-        current = self._registers.get(link_id)
-        if current is None:
-            raise KeyError(f"unknown link: {link_id!r}")
+        # Hot path: no pending links (the steady state) skips straight to
+        # the active-register update.
+        if self._pending:
+            pending = self._pending.get(link_id)
+            if pending is not None:
+                if barrier > pending:
+                    self._pending[link_id] = barrier
+                # Promote once the newcomer caught up with the active
+                # minimum.
+                if self._pending[link_id] >= self.minimum():
+                    self._registers[link_id] = self._pending.pop(link_id)
+                    self._invalidate()
+                    if self._tracer is not None:
+                        self._trace("link_promote", link_id, barrier=barrier)
+                return
+        registers = self._registers
+        try:
+            current = registers[link_id]
+        except KeyError:
+            raise KeyError(f"unknown link: {link_id!r}") from None
         if barrier <= current:
             return
-        self._registers[link_id] = barrier
-        if self._min_cache is not None and current == self._min_cache:
-            self._invalidate()
+        registers[link_id] = barrier
+        if current == self._min_cache:
+            self._min_cache = None
 
     def minimum(self) -> int:
         """The barrier this node may promise downstream: min of registers.

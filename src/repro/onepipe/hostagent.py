@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.net.link import Link
 from repro.net.nic import Host
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import Packet, PacketKind, acquire_beacon, release_beacon
 from repro.net.rpc import Directory
 from repro.onepipe.config import MODE_CHIP, OnePipeConfig
 from repro.sim import Future
@@ -159,8 +159,10 @@ class HostAgent:
                 # A lost beacon stalls this receiver's barrier until the
                 # next one (the paper's Fig. 9b mechanism).
                 self.receiver_drops += 1
+                release_beacon(packet)
                 return True
             self._update_barriers(packet.barrier_ts, packet.commit_ts)
+            release_beacon(packet)
             return True
         if kind in _ONEPIPE_KINDS:
             if (
@@ -194,7 +196,7 @@ class HostAgent:
             changed = True
         if changed and not self._flush_scheduled:
             self._flush_scheduled = True
-            self.sim.call_soon(self._flush)
+            self.sim.post(0, self._flush)
 
     # Artificial extra delivery delay (reorder-overhead study, Fig. 11):
     # barriers handed to receivers are held back by this much.
@@ -226,7 +228,7 @@ class HostAgent:
         # needs.  (Switch engines do suppress beacons on busy links.)
         if self.host.failed or self.host.uplink is None:
             return
-        beacon = Packet(PacketKind.BEACON, src=-1, dst=-1, dst_host="")
+        beacon = acquire_beacon()  # src/dst default to -1 (node-level)
         self.beacons_sent += 1
         self.host.send_packet(beacon)  # egress hook stamps the barriers
 

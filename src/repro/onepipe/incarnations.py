@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.net.link import Link
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import Packet, PacketKind, acquire_beacon, release_beacon
 from repro.net.switch import Switch
 from repro.onepipe.barrier import BarrierRegisterFile
 from repro.onepipe.config import (
@@ -183,26 +183,40 @@ class _OrderingEngineBase:
 
     # ------------------------------------------------------------------
     def _emit_beacon(self, out_link: Link) -> None:
-        beacon = Packet(
-            PacketKind.BEACON,
-            barrier_ts=self.be.minimum(),
-            commit_ts=self.commit.minimum(),
-        )
-        self.beacons_sent += 1
-        # The beacon must not bypass data packets still in the ingress
-        # pipeline: a data packet received just before this beacon is
-        # generated carries (and *is*) an older timestamp, and would be
-        # overtaken on the egress link — breaking the barrier promise.
-        # Charge beacons the same pipeline delay as forwarded packets.
-        self.sim.schedule(
+        self._emit_beacons((out_link,))
+
+    def _emit_beacons(self, out_links) -> None:
+        """Emit one beacon per output link, coalesced into a single event.
+
+        The barrier minima are read once here (they are identical for
+        every link of the batch — Equation 4.1 aggregates over *input*
+        links only) and one scheduler event fans the beacons out, instead
+        of one event plus one minimum computation per port.
+
+        The beacons must not bypass data packets still in the ingress
+        pipeline: a data packet received just before this batch is
+        generated carries (and *is*) an older timestamp, and would be
+        overtaken on the egress link — breaking the barrier promise.
+        Charge beacons the same pipeline delay as forwarded packets.
+        """
+        self.beacons_sent += len(out_links)
+        self.sim.post(
             self.switch.forwarding_delay_ns,
-            self.switch.send_on,
-            out_link,
-            beacon,
+            self._send_beacons,
+            out_links,
+            self.be.minimum(),
+            self.commit.minimum(),
         )
 
-    def _link_needs_beacon(self, link: Link, now: int) -> bool:
-        """Whether this output link needs an explicit barrier beacon."""
+    def _send_beacons(self, out_links, be_min: int, commit_min: int) -> None:
+        switch = self.switch
+        if switch is None or switch.failed:
+            return
+        for link in out_links:
+            link.send(acquire_beacon(be_min, commit_min))
+
+    def _links_needing_beacons(self, now: int) -> list:
+        """Output links that need an explicit barrier beacon right now."""
         raise NotImplementedError
 
     def _maybe_cascade(self) -> None:
@@ -220,7 +234,7 @@ class _OrderingEngineBase:
         ):
             return
         self._cascade_pending = True
-        self.sim.schedule(self.config.cascade_settle_ns, self._cascade_fire)
+        self.sim.post(self.config.cascade_settle_ns, self._cascade_fire)
 
     def _cascade_fire(self) -> None:
         self._cascade_pending = False
@@ -228,10 +242,9 @@ class _OrderingEngineBase:
             return
         self._emitted_be = self.be.minimum()
         self._emitted_commit = self.commit.minimum()
-        now = self.sim.now
-        for link in self.switch.out_links:
-            if self._link_needs_beacon(link, now):
-                self._emit_beacon(link)
+        needs = self._links_needing_beacons(self.sim.now)
+        if needs:
+            self._emit_beacons(needs)
 
     def _tick(self) -> None:
         raise NotImplementedError
@@ -244,27 +257,48 @@ class ProgrammableChipEngine(_OrderingEngineBase):
     """Per-packet aggregation in the forwarding pipeline (§6.2.1)."""
 
     def on_packet(self, packet: Packet, in_link: Link) -> bool:
+        # Runs once per packet on every engine switch — the hottest
+        # method of a fat-tree run, so liveness bookkeeping and the
+        # cascade trigger are inlined rather than delegated.
         if self.switch.failed:
             return False
-        self._note_arrival(in_link)
+        self._last_rx[in_link] = self.sim.now
+        if self._dead and in_link in self._dead:
+            self.rejoin_link(in_link)
         # Equation (4.1): update the input link register, then stamp the
         # packet with the minimum across all input links.
-        self.be.update(in_link, packet.barrier_ts)
-        self.commit.update(in_link, packet.commit_ts)
+        be = self.be
+        commit = self.commit
+        be.update(in_link, packet.barrier_ts)
+        commit.update(in_link, packet.commit_ts)
+        be_min = be.minimum()
+        commit_min = commit.minimum()
         if packet.kind == PacketKind.BEACON:
-            # Beacons are strictly hop-by-hop; relay the wave downstream
-            # immediately on idle links.
-            self._maybe_cascade()
-            return False
-        packet.barrier_ts = self.be.minimum()
-        packet.commit_ts = self.commit.minimum()
-        self._maybe_cascade()
-        return True
+            # Beacons are strictly hop-by-hop; consumed here, relayed by
+            # the cascade below.
+            release_beacon(packet)
+            forward = False
+        else:
+            packet.barrier_ts = be_min
+            packet.commit_ts = commit_min
+            forward = True
+        # _maybe_cascade, inlined with the minima already in hand.
+        if not self._cascade_pending and (
+            be_min > self._emitted_be or commit_min > self._emitted_commit
+        ):
+            self._cascade_pending = True
+            self.sim.post(self.config.cascade_settle_ns, self._cascade_fire)
+        return forward
 
-    def _link_needs_beacon(self, link: Link, now: int) -> bool:
+    def _links_needing_beacons(self, now: int) -> list:
         # Chip mode: any forwarded *data* packet refreshes barriers, so
         # beacons are only needed on links without recent data traffic.
-        return now - link.last_data_tx >= self.config.beacon_interval_ns // 2
+        half = self.config.beacon_interval_ns // 2
+        return [
+            link
+            for link in self.switch.out_links
+            if now - link.last_data_tx >= half
+        ]
 
     def _tick(self) -> None:
         # Keep-alive: links silent for a full interval (no data, no
@@ -275,9 +309,13 @@ class ProgrammableChipEngine(_OrderingEngineBase):
         self._scan_liveness()
         now = self.sim.now
         interval = self.config.beacon_interval_ns
-        for link in self.switch.out_links:
-            if link.idle_since(now) >= interval:
-                self._emit_beacon(link)
+        idle = [
+            link
+            for link in self.switch.out_links
+            if now - link.last_tx_time >= interval
+        ]
+        if idle:
+            self._emit_beacons(idle)
 
 
 class SwitchCpuEngine(_OrderingEngineBase):
@@ -285,7 +323,9 @@ class SwitchCpuEngine(_OrderingEngineBase):
 
     Data packets traverse the chip untouched; received beacons update the
     registers after ``processing_delay_ns`` (OS stack + CPU), and the CPU
-    broadcasts fresh beacons on every output link each interval.
+    broadcasts fresh beacons on every output link each interval.  Beacons
+    landing within one processing window are interrupt-coalesced into a
+    single register flush (exact under Equation 4.1 — see ``__init__``).
     """
 
     def __init__(
@@ -301,19 +341,38 @@ class SwitchCpuEngine(_OrderingEngineBase):
             if processing_delay_ns is not None
             else config.switch_cpu_delay_ns
         )
+        # Interrupt coalescing: beacons arriving within one CPU
+        # processing window are buffered per input link (keeping only
+        # the per-link maxima) and applied by a single flush event,
+        # instead of one scheduler event per beacon.  Equation (4.1)
+        # only ever takes the max of each register with the arriving
+        # barrier, so folding the max into the buffer is exact; the
+        # barrier promise is already valid when a beacon arrives (links
+        # are FIFO), so applying several at once — each no later than
+        # its own processing delay — is safe.
+        self._rx_buffer: Dict[Link, list] = {}
+        self._flush_pending = False
 
     def on_packet(self, packet: Packet, in_link: Link) -> bool:
         if self.switch.failed:
             return False
         self._note_arrival(in_link)
         if packet.kind == PacketKind.BEACON:
-            self.sim.schedule(
-                int(self.processing_delay_ns * self.straggle_factor),
-                self._cpu_update,
-                in_link,
-                packet.barrier_ts,
-                packet.commit_ts,
-            )
+            buffered = self._rx_buffer.get(in_link)
+            if buffered is None:
+                self._rx_buffer[in_link] = [packet.barrier_ts, packet.commit_ts]
+            else:
+                if packet.barrier_ts > buffered[0]:
+                    buffered[0] = packet.barrier_ts
+                if packet.commit_ts > buffered[1]:
+                    buffered[1] = packet.commit_ts
+            release_beacon(packet)
+            if not self._flush_pending:
+                self._flush_pending = True
+                self.sim.post(
+                    int(self.processing_delay_ns * self.straggle_factor),
+                    self._cpu_flush,
+                )
             return False
         return True  # data forwarded by the chip, barriers untouched
 
@@ -322,18 +381,26 @@ class SwitchCpuEngine(_OrderingEngineBase):
         # representative host) that processes beacons straggles.
         pass
 
-    def _cpu_update(self, in_link: Link, be_barrier: int, commit_ts: int) -> None:
-        if self.be.has_link(in_link):
-            self.be.update(in_link, be_barrier)
-        if self.commit.has_link(in_link):
-            self.commit.update(in_link, commit_ts)
+    def _cpu_flush(self) -> None:
+        self._flush_pending = False
+        buffered = self._rx_buffer
+        if not buffered:
+            return
+        self._rx_buffer = {}
+        be = self.be
+        commit = self.commit
+        for in_link, (be_barrier, commit_ts) in buffered.items():
+            if be.has_link(in_link):
+                be.update(in_link, be_barrier)
+            if commit.has_link(in_link):
+                commit.update(in_link, commit_ts)
         # Relay the wave onward (the per-hop CPU delay was already paid).
         self._maybe_cascade()
 
-    def _link_needs_beacon(self, link: Link, now: int) -> bool:
+    def _links_needing_beacons(self, now: int) -> list:
         # CPU mode: data packets do not carry barriers, so every output
         # link gets wave beacons whether busy or not (§6.2.2).
-        return True
+        return list(self.switch.out_links)
 
     def _tick(self) -> None:
         # Keep-alive when the wave is stalled (no cascade for a full
@@ -344,9 +411,13 @@ class SwitchCpuEngine(_OrderingEngineBase):
         self._scan_liveness()
         now = self.sim.now
         interval = self.config.beacon_interval_ns
-        for link in self.switch.out_links:
-            if link.idle_since(now) >= interval:
-                self._emit_beacon(link)
+        idle = [
+            link
+            for link in self.switch.out_links
+            if now - link.last_tx_time >= interval
+        ]
+        if idle:
+            self._emit_beacons(idle)
 
 
 class HostDelegationEngine(SwitchCpuEngine):

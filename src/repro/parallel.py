@@ -1,0 +1,62 @@
+"""Deterministic fan-out of independent campaign episodes.
+
+The chaos campaign and the verification harness are embarrassingly
+parallel: every episode rebuilds its own simulator from a deterministic
+episode seed, so episode reports are pure functions of ``(seed, knobs)``.
+:func:`run_ordered` exploits that to spread episodes over worker
+processes while keeping the merged output **byte-identical** to a
+sequential run:
+
+- workers receive explicit ``(knobs, index, ...)`` payloads and rebuild
+  everything from seeds — no shared mutable state crosses the fork;
+- results are merged (and ``progress`` invoked) strictly in submission
+  order, no matter which worker finishes first;
+- the job count itself must never appear in report payloads — callers
+  keep ``--jobs`` out of the JSON they emit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Iterable, List, Optional
+
+
+def run_ordered(
+    worker: Callable[[Any], Any],
+    payloads: Iterable[Any],
+    jobs: int = 1,
+    progress: Optional[Callable[[Any], None]] = None,
+) -> List[Any]:
+    """Map ``worker`` over ``payloads``, preserving submission order.
+
+    With ``jobs <= 1`` (or a single payload) everything runs inline in
+    this process — no pool, no pickling round-trip.  Otherwise a
+    process pool of ``min(jobs, len(payloads))`` workers consumes the
+    payloads; ``worker`` must be a module-level function and payloads
+    and results must be picklable.
+
+    ``progress(result)`` fires as each result is *merged* — i.e. in
+    submission order — so progress output is identical for every job
+    count.
+    """
+    items = list(payloads)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1: {jobs}")
+    results: List[Any] = []
+    if jobs == 1 or len(items) <= 1:
+        for payload in items:
+            result = worker(payload)
+            if progress is not None:
+                progress(result)
+            results.append(result)
+        return results
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context()
+    with context.Pool(processes=min(jobs, len(items))) as pool:
+        for result in pool.imap(worker, items):
+            if progress is not None:
+                progress(result)
+            results.append(result)
+    return results

@@ -5,14 +5,16 @@ is intentionally tiny: the event heap stores the handles directly, and
 cancellation is implemented by flagging the handle so the main loop skips it
 when popped (lazy deletion), which keeps cancellation O(1).
 
-Lazy deletion alone lets cancelled handles accumulate in the heap when they
+Lazy deletion alone lets cancelled handles accumulate in the queue when they
 are cancelled long before their firing time (retransmission timers that were
 ACKed, periodic tasks torn down mid-campaign).  To bound that growth, a
 handle that is still queued reports its cancellation back to the owning
-simulator (the ``_sim`` back-reference doubles as the "still in the heap"
-flag — the run loop clears it when the handle is popped), and the simulator
-compacts the heap once tombstones dominate (see
-:meth:`repro.sim.simulator.Simulator._compact`).
+simulator (the ``_sim`` back-reference doubles as the "still queued" flag —
+the run loop clears it when the handle is popped), and the simulator
+compacts the queue once tombstones dominate (see
+:meth:`repro.sim.simulator.Simulator._compact`).  Handles cancelled while
+still bucketed in the timing wheel are cheaper yet: the wheel-to-heap
+transfer drops them without ever pushing them onto the heap.
 """
 
 from __future__ import annotations

@@ -1,11 +1,29 @@
 """The deterministic discrete-event simulator.
 
-Time is an integer number of nanoseconds starting at 0.  The simulator is a
-classic calendar queue: a binary heap of ``(time, seq, handle)`` tuples
-popped in ``(time, seq)`` order.  Storing plain tuples (rather than the
-:class:`EventHandle` objects themselves) keeps every heap comparison inside
-the C tuple-compare fast path — ``seq`` is unique, so a sift never reaches
-the handle element.  Determinism guarantees:
+Time is an integer number of nanoseconds starting at 0.  The scheduler is
+two-tiered:
+
+- a binary heap of ``(time, seq, payload)`` tuples popped in ``(time,
+  seq)`` order.  Storing plain tuples (rather than the
+  :class:`EventHandle` objects themselves) keeps every heap comparison
+  inside the C tuple-compare fast path — ``seq`` is unique, so a sift
+  never reaches the payload element.  The payload is an
+  :class:`EventHandle` for cancellable events, or a bare ``(callback,
+  args)`` tuple for fire-and-forget events posted via :meth:`Simulator.post`
+  — the data path (link deliveries, packet forwarding) never cancels, so
+  it skips the handle allocation entirely;
+- a hashed timing wheel (Varghese & Lauck) front-end for the dense
+  short-horizon population: beacons, clock-sync ticks, link delays and
+  retransmission timers land in O(1) append buckets of
+  ``WHEEL_SLOT_NS``-wide slots instead of churning the heap.  The run loop
+  transfers due slots into the heap just before they can fire, so global
+  ``(time, seq)`` order — and therefore determinism — is unchanged; timers
+  cancelled while still in a bucket (the common fate of retransmission
+  timers) are dropped at transfer time and never touch the heap at all.
+  Events beyond the wheel horizon (``WHEEL_SLOT_NS * WHEEL_SLOTS`` ns
+  ahead) go straight to the heap.
+
+Determinism guarantees:
 
 - Events at the same instant fire in the order they were scheduled.
 - All randomness flows through :class:`repro.sim.randomness.RngStreams`
@@ -51,12 +69,22 @@ class Simulator:
     100
     """
 
-    # Heap compaction: once at least this many cancelled tombstones sit in
-    # the heap AND they make up at least half of it, rebuild without them.
-    # Mirrors asyncio's timer-handle compaction; bounds heap growth under
-    # schedule/cancel churn (retransmission timers ACKed early, periodic
-    # tasks torn down mid-campaign) at amortized O(1) per cancellation.
+    # Compaction: once at least this many cancelled tombstones sit in the
+    # queue (heap + wheel) AND they make up at least half of it, rebuild
+    # without them.  Mirrors asyncio's timer-handle compaction; bounds
+    # queue growth under schedule/cancel churn (retransmission timers
+    # ACKed early, periodic tasks torn down mid-campaign) at amortized
+    # O(1) per cancellation.
     COMPACT_MIN_TOMBSTONES = 64
+
+    # Timing-wheel geometry (class attributes so tests can override).
+    # Slots are 2**WHEEL_SLOT_SHIFT ns wide; the wheel spans WHEEL_SLOTS
+    # consecutive slots (the horizon).  512 slots x 1024 ns = ~524 us
+    # comfortably covers beacon intervals, link delays and retransmission
+    # timeouts while leaving long-horizon events (episode fences, chaos
+    # phase changes) on the heap.  WHEEL_SLOTS must be a power of two.
+    WHEEL_SLOT_SHIFT = 10
+    WHEEL_SLOTS = 512
 
     def __init__(self, seed: int = 0) -> None:
         self.now: int = 0
@@ -67,7 +95,18 @@ class Simulator:
         self._stopped = False
         self._rngs = RngStreams(seed)
         self._events_processed = 0
-        self._heap_tombstones = 0
+        # Cancelled-but-still-queued handles, across heap AND wheel.
+        self._tombstones = 0
+        # Timing wheel: _wheel_cursor is an absolute slot number; every
+        # slot strictly below it has been transferred to the heap, so all
+        # bucketed entries have time >= _wheel_edge == cursor * slot_width.
+        # _wheel_count includes cancelled entries still in buckets.
+        self._wheel_shift = self.WHEEL_SLOT_SHIFT
+        self._wheel_mask = self.WHEEL_SLOTS - 1
+        self._wheel_slots: list[list] = [[] for _ in range(self.WHEEL_SLOTS)]
+        self._wheel_cursor = 0
+        self._wheel_edge = 0
+        self._wheel_count = 0
         # Structured tracing, disabled by default.  Components cache this
         # object at construction time, so enable it *in place*
         # (``sim.tracer.enabled = True``) before building a cluster rather
@@ -80,7 +119,13 @@ class Simulator:
     def schedule(
         self, delay: int, callback: Callable[..., Any], *args: Any
     ) -> EventHandle:
-        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now.
+
+        This is the data-path entry point (packet arrivals, link
+        deliveries): straight onto the heap, no timer-routing logic —
+        such events are dense but essentially never cancelled, so the
+        wheel's cancellation-elision buys nothing for them.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         # Hot path: inlined push (no schedule_at call); delay >= 0 already
@@ -107,25 +152,163 @@ class Simulator:
         heapq.heappush(self._heap, (time, seq, handle))
         return handle
 
+    def post(self, delay: int, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, no cancellation.
+
+        The hot data path (link deliveries, switch forwarding, NIC egress)
+        never cancels its events, so it skips the :class:`EventHandle`
+        allocation and pushes a bare ``(callback, args)`` payload.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + int(delay)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, (callback, args)))
+
+    def post_at(self, time: int, callback: Callable[..., Any], *args: Any) -> None:
+        """Absolute-time variant of :meth:`post`."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (int(time), seq, (callback, args)))
+
+    def schedule_timer(
+        self, delay: int, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule a *timer*: a periodic or likely-to-be-cancelled event.
+
+        Semantically identical to :meth:`schedule` (same ``(time, seq)``
+        firing order), but routed through the timing wheel when the firing
+        time lands inside the wheel window: O(1) bucket append instead of
+        a heap push, and — the real win — a timer cancelled while still
+        bucketed (a retransmission timer whose ACK arrived, a periodic
+        task torn down) is dropped at transfer time without ever touching
+        the heap.  Beacon ticks, clock-sync ticks and retransmission/ACK
+        timers all come through here.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + int(delay)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, self)
+        slot = time >> self._wheel_shift
+        cursor = self._wheel_cursor
+        if cursor <= slot <= cursor + self._wheel_mask:
+            self._wheel_slots[slot & self._wheel_mask].append(
+                (time, seq, handle)
+            )
+            self._wheel_count += 1
+        else:
+            self._timer_to_heap(time, seq, handle, slot)
+        return handle
+
+    def schedule_timer_at(
+        self, time: int, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Absolute-time variant of :meth:`schedule_timer`."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        time = int(time)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, self)
+        slot = time >> self._wheel_shift
+        cursor = self._wheel_cursor
+        if cursor <= slot <= cursor + self._wheel_mask:
+            self._wheel_slots[slot & self._wheel_mask].append(
+                (time, seq, handle)
+            )
+            self._wheel_count += 1
+        else:
+            self._timer_to_heap(time, seq, handle, slot)
+        return handle
+
+    def _timer_to_heap(self, time: int, seq: int, handle, slot: int) -> None:
+        """A timer missed the wheel window; heap fallback (slow path)."""
+        if not self._wheel_count:
+            # Empty wheel: snap the window forward to ``now`` for free (no
+            # bucket can hold anything), re-capturing dense timer traffic
+            # after a long idle gap.
+            cursor = max(self._wheel_cursor, self.now >> self._wheel_shift)
+            self._wheel_cursor = cursor
+            self._wheel_edge = cursor << self._wheel_shift
+            if cursor <= slot <= cursor + self._wheel_mask:
+                self._wheel_slots[slot & self._wheel_mask].append(
+                    (time, seq, handle)
+                )
+                self._wheel_count = 1
+                return
+        # Beyond the horizon, or in a slot already transferred (sub-slot
+        # delay behind the cursor): the heap takes it.
+        heapq.heappush(self._heap, (time, seq, handle))
+
+    def _wheel_to_heap(self) -> None:
+        """Transfer due wheel slots into the heap.
+
+        Advances the cursor until the heap top is globally minimal again
+        (every remaining bucketed entry sits in a slot whose whole window
+        lies after the heap top), or the wheel drains.  Entries cancelled
+        while bucketed are dropped here and never reach the heap.
+        """
+        heap = self._heap
+        slots = self._wheel_slots
+        mask = self._wheel_mask
+        shift = self._wheel_shift
+        cursor = self._wheel_cursor
+        push = heapq.heappush
+        while self._wheel_count and not (
+            heap and heap[0][0] < (cursor << shift)
+        ):
+            bucket = slots[cursor & mask]
+            if bucket:
+                self._wheel_count -= len(bucket)
+                for entry in bucket:
+                    if entry[2].cancelled:
+                        self._tombstones -= 1
+                    else:
+                        push(heap, entry)
+                bucket.clear()
+            cursor += 1
+        self._wheel_cursor = cursor
+        self._wheel_edge = cursor << shift
+
     def _handle_cancelled(self) -> None:
-        """A handle still in the heap was cancelled (called by the handle)."""
-        self._heap_tombstones += 1
+        """A queued handle was cancelled (called by the handle itself)."""
+        self._tombstones += 1
         if (
-            self._heap_tombstones >= self.COMPACT_MIN_TOMBSTONES
-            and self._heap_tombstones * 2 >= len(self._heap)
+            self._tombstones >= self.COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 >= len(self._heap) + self._wheel_count
         ):
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled tombstones.
+        """Rebuild the queue (heap and wheel buckets) without tombstones.
 
-        Mutates the heap list in place so a run loop holding a local
-        reference keeps seeing the compacted queue.
+        Mutates the heap list and bucket lists in place so a run loop
+        holding a local reference keeps seeing the compacted queue.
         """
         heap = self._heap
-        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heap[:] = [
+            entry
+            for entry in heap
+            if type(entry[2]) is tuple or not entry[2].cancelled
+        ]
         heapq.heapify(heap)
-        self._heap_tombstones = 0
+        if self._wheel_count:
+            count = 0
+            for bucket in self._wheel_slots:
+                if bucket:
+                    bucket[:] = [e for e in bucket if not e[2].cancelled]
+                    count += len(bucket)
+            self._wheel_count = count
+        self._tombstones = 0
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at the current time (after the
@@ -164,28 +347,57 @@ class Simulator:
         # Specialized loops keep the hot path tight: the common case
         # (no max_events) skips the per-event safety comparison, and the
         # unbounded-time variant skips the ``until`` peek as well.  Live
-        # events are popped exactly once (no peek-then-pop).
+        # events are popped exactly once (no peek-then-pop).  Each loop
+        # guards the pop with a wheel transfer so the heap top is always
+        # globally minimal; with an empty wheel the guard is one falsy
+        # attribute check.
         if max_events is None:
             if until is None:
-                while heap and not self._stopped:
+                while not self._stopped:
+                    if self._wheel_count and (
+                        not heap or heap[0][0] >= self._wheel_edge
+                    ):
+                        self._wheel_to_heap()
+                    if not heap:
+                        break
                     time, _seq, handle = pop(heap)
+                    if type(handle) is tuple:
+                        self.now = time
+                        handle[0](*handle[1])
+                        processed += 1
+                        continue
                     if handle.cancelled:
-                        self._heap_tombstones -= 1
+                        self._tombstones -= 1
                         continue
                     handle._sim = None
                     self.now = time
                     handle.callback(*handle.args)
                     processed += 1
             else:
-                while heap and not self._stopped:
+                while not self._stopped:
+                    if self._wheel_count and (
+                        not heap or heap[0][0] >= self._wheel_edge
+                    ):
+                        if self._wheel_edge > until:
+                            # Every bucketed entry is beyond the bound, and
+                            # so is the heap top (it is >= the edge): done.
+                            break
+                        self._wheel_to_heap()
+                    if not heap:
+                        break
                     entry = heap[0]
                     time = entry[0]
                     if time > until:
                         break
                     pop(heap)
                     handle = entry[2]
+                    if type(handle) is tuple:
+                        self.now = time
+                        handle[0](*handle[1])
+                        processed += 1
+                        continue
                     if handle.cancelled:
-                        self._heap_tombstones -= 1
+                        self._tombstones -= 1
                         continue
                     handle._sim = None
                     self.now = time
@@ -193,19 +405,31 @@ class Simulator:
                     processed += 1
         else:
             bound = until if until is not None else float("inf")
-            while heap and not self._stopped:
+            while not self._stopped:
+                if self._wheel_count and (
+                    not heap or heap[0][0] >= self._wheel_edge
+                ):
+                    if self._wheel_edge > bound:
+                        break
+                    self._wheel_to_heap()
+                if not heap:
+                    break
                 entry = heap[0]
                 time = entry[0]
                 if time > bound:
                     break
                 pop(heap)
                 handle = entry[2]
-                if handle.cancelled:
-                    self._heap_tombstones -= 1
-                    continue
-                handle._sim = None
-                self.now = time
-                handle.callback(*handle.args)
+                if type(handle) is tuple:
+                    self.now = time
+                    handle[0](*handle[1])
+                else:
+                    if handle.cancelled:
+                        self._tombstones -= 1
+                        continue
+                    handle._sim = None
+                    self.now = time
+                    handle.callback(*handle.args)
                 processed += 1
                 if processed >= max_events:
                     raise SimulationError(
@@ -223,17 +447,27 @@ class Simulator:
     def step(self) -> bool:
         """Process a single event.  Returns False if the queue is empty."""
         heap = self._heap
-        while heap:
+        while True:
+            if self._wheel_count and (
+                not heap or heap[0][0] >= self._wheel_edge
+            ):
+                self._wheel_to_heap()
+            if not heap:
+                return False
             time, _seq, handle = heapq.heappop(heap)
+            if type(handle) is tuple:
+                self.now = time
+                handle[0](*handle[1])
+                self._events_processed += 1
+                return True
             if handle.cancelled:
-                self._heap_tombstones -= 1
+                self._tombstones -= 1
                 continue
             handle._sim = None
             self.now = time
             handle.callback(*handle.args)
             self._events_processed += 1
             return True
-        return False
 
     def stop(self) -> None:
         """Stop the currently-running :meth:`run` after the current event."""
@@ -244,18 +478,25 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled tombstones)."""
-        return len(self._heap)
+        """Number of events still queued (heap + wheel buckets, including
+        cancelled tombstones)."""
+        return len(self._heap) + self._wheel_count
 
     @property
     def live_events(self) -> int:
         """Number of queued events that will actually fire."""
-        return len(self._heap) - self._heap_tombstones
+        return len(self._heap) + self._wheel_count - self._tombstones
 
     @property
     def heap_tombstones(self) -> int:
-        """Cancelled events still occupying heap slots (lazy deletion)."""
-        return self._heap_tombstones
+        """Cancelled events still occupying queue slots (lazy deletion),
+        whether they sit in the heap or in a wheel bucket."""
+        return self._tombstones
+
+    @property
+    def wheel_events(self) -> int:
+        """Events currently bucketed in the timing wheel (incl. cancelled)."""
+        return self._wheel_count
 
     @property
     def events_processed(self) -> int:
@@ -265,9 +506,18 @@ class Simulator:
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the queue is empty."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
-            self._heap_tombstones -= 1
+        while True:
+            if self._wheel_count and (
+                not heap or heap[0][0] >= self._wheel_edge
+            ):
+                self._wheel_to_heap()
+            if heap:
+                top = heap[0][2]
+                if type(top) is not tuple and top.cancelled:
+                    heapq.heappop(heap)
+                    self._tombstones -= 1
+                    continue
+            break
         return heap[0][0] if heap else None
 
     def rng(self, name: str):
@@ -292,7 +542,10 @@ class Simulator:
         return PeriodicTask(self, interval, callback, args, phase, jitter_rng, jitter)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self.now} pending={len(self._heap)}>"
+        return (
+            f"<Simulator t={self.now} "
+            f"pending={len(self._heap) + self._wheel_count}>"
+        )
 
 
 class PeriodicTask:
@@ -324,7 +577,7 @@ class PeriodicTask:
         if first < sim.now:
             first += self._interval
         self._next_time = first
-        self._handle = sim.schedule_at(self._apply_jitter(first), self._fire)
+        self._handle = sim.schedule_timer_at(self._apply_jitter(first), self._fire)
 
     def _apply_jitter(self, time: int) -> int:
         if self._jitter and self._jitter_rng is not None:
@@ -337,10 +590,13 @@ class PeriodicTask:
         self._callback(*self._args)
         if self._cancelled:  # callback may cancel us
             return
-        self._next_time += self._interval
-        self._handle = self._sim.schedule_at(
-            max(self._apply_jitter(self._next_time), self._sim.now), self._fire
-        )
+        sim = self._sim
+        time = self._next_time = self._next_time + self._interval
+        if self._jitter and self._jitter_rng is not None:
+            time += self._jitter_rng.randrange(self._jitter)
+        if time < sim.now:
+            time = sim.now
+        self._handle = sim.schedule_timer_at(time, self._fire)
 
     def cancel(self) -> None:
         self._cancelled = True

@@ -15,6 +15,7 @@ import os
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.onepipe.config import MODES
+from repro.parallel import run_ordered
 from repro.verify.episodes import (
     EpisodeRun,
     EpisodeSpec,
@@ -52,6 +53,57 @@ def check_episode(
     return run, divergences
 
 
+def _check_one(
+    knobs: Dict[str, Any],
+    index: int,
+    mode: str,
+    mutate: Optional[Callable[..., None]] = None,
+) -> Dict[str, Any]:
+    """Generate-and-check one (episode, mode) pair from explicit knobs.
+
+    Returns a plain-dict outcome (a ``result`` or a ``harness_error``)
+    so it can cross a process boundary.
+    """
+    ep_seed = episode_seed(knobs["seed"], index)
+    spec = generate_episode(
+        seed=ep_seed,
+        episode=index,
+        mode=mode,
+        scale=knobs["scale"],
+        n_faults=knobs["n_faults"],
+    )
+    try:
+        run, divergences = check_episode(spec, mutate=mutate)
+    except VerifyHarnessError as exc:
+        return {
+            "harness_error": {
+                "episode": index,
+                "mode": mode,
+                "seed": ep_seed,
+                "error": str(exc),
+            }
+        }
+    return {
+        "result": {
+            "episode": index,
+            "mode": mode,
+            "seed": ep_seed,
+            "sends_issued": run.sends_issued,
+            "sends_skipped": run.sends_skipped,
+            "messages_delivered": run.messages_delivered,
+            "late_naks": run.late_naks,
+            "faults": len(spec.faults),
+            "divergences": [d.to_dict() for d in divergences],
+        }
+    }
+
+
+def _episode_worker(payload) -> Dict[str, Any]:
+    """Pool entry point (module-level so it pickles)."""
+    knobs, index, mode = payload
+    return _check_one(knobs, index, mode)
+
+
 class VerifyRunner:
     """N fuzzed episodes x M incarnations -> deterministic report."""
 
@@ -65,6 +117,7 @@ class VerifyRunner:
         shrink: bool = True,
         max_shrink_replays: int = 60,
         mutate: Optional[Callable[..., None]] = None,
+        jobs: int = 1,
         progress: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.seed = seed
@@ -75,57 +128,85 @@ class VerifyRunner:
         self.shrink = shrink
         self.max_shrink_replays = max_shrink_replays
         self.mutate = mutate
+        self.jobs = jobs
         self.progress = progress or (lambda _line: None)
 
     # ------------------------------------------------------------------
     def run(self) -> Dict[str, Any]:
-        results: List[Dict[str, Any]] = []
-        all_divergences: List[Divergence] = []
-        harness_errors: List[Dict[str, Any]] = []
-        shrunk: Optional[Dict[str, Any]] = None
+        """Check every (episode, mode) pair and assemble the report.
 
-        for index in range(self.episodes):
-            ep_seed = episode_seed(self.seed, index)
-            for mode in self.modes:
-                spec = generate_episode(
-                    seed=ep_seed,
-                    episode=index,
-                    mode=mode,
-                    scale=self.scale,
-                    n_faults=self.n_faults,
-                )
-                try:
-                    run, divergences = check_episode(spec, mutate=self.mutate)
-                except VerifyHarnessError as exc:
-                    harness_errors.append({
-                        "episode": index,
-                        "mode": mode,
-                        "seed": ep_seed,
-                        "error": str(exc),
-                    })
-                    self.progress(
-                        f"episode {index} mode={mode}: harness error: {exc}"
-                    )
-                    continue
-                results.append({
-                    "episode": index,
-                    "mode": mode,
-                    "seed": ep_seed,
-                    "sends_issued": run.sends_issued,
-                    "sends_skipped": run.sends_skipped,
-                    "messages_delivered": run.messages_delivered,
-                    "late_naks": run.late_naks,
-                    "faults": len(spec.faults),
-                    "divergences": [d.to_dict() for d in divergences],
-                })
+        With ``jobs > 1`` the pairs fan out over a process pool; the
+        report stays byte-identical to a sequential run because every
+        pair is a pure function of its episode seed (``replay_episode``
+        pins the process-wide message-id counter), outcomes merge in
+        submission order, and shrinking runs after the sweep on the
+        first divergent pair in that same order.  ``mutate`` hooks are
+        arbitrary callables, so they force ``jobs=1``.
+        """
+        knobs = {
+            "seed": self.seed,
+            "scale": self.scale,
+            "n_faults": self.n_faults,
+        }
+        payloads = [
+            (knobs, index, mode)
+            for index in range(self.episodes)
+            for mode in self.modes
+        ]
+        jobs = self.jobs if self.mutate is None else 1
+
+        def merge_progress(outcome: Dict[str, Any]) -> None:
+            error = outcome.get("harness_error")
+            if error is not None:
                 self.progress(
-                    f"episode {index} mode={mode}: "
-                    f"{run.messages_delivered} delivered, "
-                    f"{len(divergences)} divergences"
+                    f"episode {error['episode']} mode={error['mode']}: "
+                    f"harness error: {error['error']}"
                 )
-                all_divergences.extend(divergences)
-                if divergences and self.shrink and shrunk is None:
-                    shrunk = self._shrink(spec)
+            else:
+                result = outcome["result"]
+                self.progress(
+                    f"episode {result['episode']} mode={result['mode']}: "
+                    f"{result['messages_delivered']} delivered, "
+                    f"{len(result['divergences'])} divergences"
+                )
+
+        if jobs == 1 and self.mutate is not None:
+            outcomes = []
+            for payload in payloads:
+                outcome = _check_one(*payload, mutate=self.mutate)
+                merge_progress(outcome)
+                outcomes.append(outcome)
+        else:
+            outcomes = run_ordered(
+                _episode_worker, payloads, jobs=jobs, progress=merge_progress
+            )
+
+        results: List[Dict[str, Any]] = []
+        harness_errors: List[Dict[str, Any]] = []
+        divergence_count = 0
+        first_divergent: Optional[Dict[str, Any]] = None
+        for outcome in outcomes:
+            error = outcome.get("harness_error")
+            if error is not None:
+                harness_errors.append(error)
+                continue
+            result = outcome["result"]
+            results.append(result)
+            divergence_count += len(result["divergences"])
+            if result["divergences"] and first_divergent is None:
+                first_divergent = result
+
+        shrunk: Optional[Dict[str, Any]] = None
+        if first_divergent is not None and self.shrink:
+            spec = generate_episode(
+                seed=first_divergent["seed"],
+                episode=first_divergent["episode"],
+                mode=first_divergent["mode"],
+                scale=self.scale,
+                n_faults=self.n_faults,
+            )
+            shrunk = self._shrink(spec)
+
         report: Dict[str, Any] = {
             "schema": "repro.verify/1",
             "seed": self.seed,
@@ -134,10 +215,10 @@ class VerifyRunner:
             "scale": self.scale,
             "n_faults": self.n_faults,
             "episodes_run": len(results),
-            "divergence_count": len(all_divergences),
+            "divergence_count": divergence_count,
             "harness_errors": harness_errors,
             "results": results,
-            "ok": not all_divergences and not harness_errors,
+            "ok": not divergence_count and not harness_errors,
         }
         if shrunk is not None:
             report["shrunk_reproducer"] = shrunk

@@ -2,12 +2,15 @@
 
 import copy
 import json
+import os
+import platform
 
 import pytest
 
 from repro.bench.microbench import (
     BENCH_SCHEMA_VERSION,
     BENCHMARKS,
+    STALE_MARKER,
     check_against,
     load_bench,
     run_suite,
@@ -68,6 +71,30 @@ class TestDeterminism:
         path = write_bench(suite, str(tmp_path / "BENCH_core.json"))
         assert load_bench(path) == json.loads(json.dumps(suite))
 
+    def test_e2e_drain_delivers_everything(self, suite):
+        for name in ("e2e_chip", "e2e_switch_cpu", "e2e_host_delegate"):
+            metrics = suite["benchmarks"][name]["metrics"]
+            assert (
+                metrics["messages_delivered"] == metrics["messages_sent"]
+            ), name
+            assert metrics["in_flight_at_horizon"] >= 0, name
+
+    def test_environment_meta_recorded(self, suite):
+        meta = suite["meta"]
+        assert meta["python_version"] == platform.python_version()
+        assert meta["cpu_count"] == os.cpu_count()
+        assert meta["platform"]
+        assert meta["machine"]
+
+    def test_scale_suite_registry(self):
+        from repro.bench.microbench import suite_registry
+
+        registry = suite_registry("scale")
+        assert "fattree_k8_h128" in registry
+        assert all(name.startswith("fattree_") for name in registry)
+        with pytest.raises(ValueError, match="unknown suite"):
+            suite_registry("bogus")
+
 
 class TestSelection:
     def test_only_subset(self):
@@ -87,10 +114,21 @@ class TestCheckAgainst:
     def test_identical_passes(self, suite):
         assert check_against(suite, copy.deepcopy(suite)) == []
 
-    def test_faster_run_passes(self, suite):
+    def test_faster_run_flags_stale_baseline(self, suite):
         baseline = copy.deepcopy(suite)
         for entry in baseline["benchmarks"].values():
             entry["rates"] = {k: v / 10 for k, v in entry["rates"].items()}
+        problems = check_against(suite, baseline)
+        assert problems
+        # Every finding is a stale-baseline warning (so CLI callers can
+        # downgrade them), and names the file to regenerate.
+        assert all(STALE_MARKER in p for p in problems)
+        assert all("BENCH_core.json" in p for p in problems)
+
+    def test_modestly_faster_run_passes(self, suite):
+        baseline = copy.deepcopy(suite)
+        for entry in baseline["benchmarks"].values():
+            entry["rates"] = {k: v / 1.5 for k, v in entry["rates"].items()}
         assert check_against(suite, baseline) == []
 
     def test_rate_regression_detected(self, suite):

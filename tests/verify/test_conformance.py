@@ -138,6 +138,22 @@ def test_cutoff_mutation_is_caught():
     assert found, "no fuzzed episode exercised the cutoff path"
 
 
+def test_runner_shrinks_first_divergent_pair():
+    # The mutation hook forces a sequential run (callables don't cross
+    # the pool boundary even with jobs set); the post-sweep shrinker
+    # must still pick up the first divergent (episode, mode) pair.
+    report = VerifyRunner(
+        seed=7, episodes=1, modes=("chip",), n_faults=0,
+        mutate=swap_pairs, jobs=4, max_shrink_replays=6,
+    ).run()
+    assert report["ok"] is False
+    assert report["divergence_count"] > 0
+    shrunk = report["shrunk_reproducer"]
+    assert shrunk["replays"] <= 6
+    assert shrunk["spec"]["episode"] == 0
+    assert shrunk["spec"]["mode"] == "chip"
+
+
 def test_runner_report_is_clean_and_deterministic():
     runner = VerifyRunner(seed=9, episodes=1, modes=("chip",), n_faults=0)
     a = runner.run()
