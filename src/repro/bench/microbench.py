@@ -9,6 +9,8 @@ directly so performance regressions are visible per-PR:
   compaction that bounds heap growth in long campaigns.
 - ``link_forward``   — host NIC + link serialization/propagation pipeline.
 - ``e2e_<mode>``     — sender→receiver 1Pipe messages/sec per incarnation.
+- ``metrics_hotpath``— the ``if metrics.enabled:`` instrumentation guard,
+  disabled vs enabled (the observability-is-free contract).
 - ``chaos_episode``  — wall-clock of one full chaos episode.
 
 Every benchmark is a pure function of ``(seed, scale)`` on the simulated
@@ -246,6 +248,61 @@ def bench_e2e(seed: int, scale: float, mode: str) -> BenchResult:
     )
 
 
+def bench_metrics_hotpath(seed: int, scale: float) -> BenchResult:
+    """Cost of the metrics instrumentation idiom, disabled vs enabled.
+
+    Every instrumentation point in the tree is ``if
+    self._metrics.enabled: self._m_x.add()`` (one attribute load and a
+    branch when observability is off).  This measures that guard alone
+    against the full counter-add + histogram-observe update, in a loop
+    shaped like the per-packet hot path.  ``tests/bench`` asserts the
+    disabled rate never regresses against the committed baseline — the
+    contract that observability is free unless switched on.
+    """
+    from repro.obs.registry import MetricsRegistry
+
+    ops = max(50_000, int(2_000_000 * scale))
+    disabled = MetricsRegistry(enabled=False)
+    d_counter = disabled.counter("bench.ops")
+    d_hist = disabled.histogram("bench.lat_ns")
+    enabled = MetricsRegistry(enabled=True)
+    e_counter = enabled.counter("bench.ops")
+    e_hist = enabled.histogram("bench.lat_ns")
+
+    start = time.perf_counter()
+    for i in range(ops):
+        if disabled.enabled:
+            d_counter.add()
+            d_hist.observe(i & 0xFFFFF)
+    wall_disabled = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for i in range(ops):
+        if enabled.enabled:
+            e_counter.add()
+            e_hist.observe(i & 0xFFFFF)
+    wall_enabled = time.perf_counter() - start
+
+    return BenchResult(
+        "metrics_hotpath",
+        wall_disabled + wall_enabled,
+        {
+            "ops": ops,
+            "disabled_updates": d_counter.value,
+            "enabled_updates": e_counter.value,
+            "enabled_hist_count": e_hist.count,
+        },
+        {
+            "disabled_ops_per_sec": (
+                ops / wall_disabled if wall_disabled > 0 else 0.0
+            ),
+            "enabled_ops_per_sec": (
+                ops / wall_enabled if wall_enabled > 0 else 0.0
+            ),
+        },
+    )
+
+
 def bench_chaos_episode(seed: int, scale: float) -> BenchResult:
     """Wall-clock of one full chaos episode (faults + invariant monitor)."""
     from repro.chaos import CampaignRunner
@@ -287,6 +344,7 @@ BENCHMARKS: Dict[str, Callable[[int, float], BenchResult]] = {
     "e2e_host_delegate": lambda seed, scale: bench_e2e(
         seed, scale, "host_delegate"
     ),
+    "metrics_hotpath": bench_metrics_hotpath,
     "chaos_episode": bench_chaos_episode,
 }
 

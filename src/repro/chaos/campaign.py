@@ -25,6 +25,7 @@ from repro.chaos.monitor import InvariantMonitor
 from repro.chaos.schedule import ChaosInjector, ChaosSchedule
 from repro.consensus.raft import RaftGroup, RaftReplicator
 from repro.net.topology import build_testbed
+from repro.obs.export import metrics_summary
 from repro.onepipe import OnePipeCluster, OnePipeConfig
 from repro.onepipe.config import MODES
 from repro.parallel import run_ordered
@@ -119,6 +120,7 @@ class CampaignRunner:
         drain_ns: int = 2_500_000,
         faults_per_episode: int = 4,
         use_raft: bool = False,
+        metrics: bool = False,
         jobs: int = 1,
         progress=None,
     ) -> None:
@@ -130,6 +132,7 @@ class CampaignRunner:
         self.drain_ns = drain_ns
         self.faults_per_episode = faults_per_episode
         self.use_raft = use_raft
+        self.metrics = metrics
         self.jobs = jobs
         self.progress = progress
 
@@ -141,6 +144,10 @@ class CampaignRunner:
         episode_seed = self.episode_seed(index)
         mode = self.modes[index % len(self.modes)]
         sim = Simulator(seed=episode_seed)
+        if self.metrics:
+            # Enable in place before any component is built (components
+            # cache the registry object at construction time).
+            sim.metrics.enabled = True
 
         raft_group = None
         replicator = None
@@ -214,7 +221,7 @@ class CampaignRunner:
                     "failed_procs": sorted(p for p, _ts in record.failed_procs),
                     "dead_links": len(record.dead_links),
                 })
-        return {
+        report: Dict[str, Any] = {
             "episode": index,
             "mode": mode,
             "seed": episode_seed,
@@ -241,6 +248,9 @@ class CampaignRunner:
                 "syncs_skipped": topology.clock_sync.syncs_skipped,
             },
         }
+        if self.metrics:
+            report["metrics"] = metrics_summary(cluster.sim.metrics)
+        return report
 
     def _knobs(self) -> Dict[str, Any]:
         """The picklable constructor arguments a worker rebuilds from.
@@ -258,6 +268,7 @@ class CampaignRunner:
             "drain_ns": self.drain_ns,
             "faults_per_episode": self.faults_per_episode,
             "use_raft": self.use_raft,
+            "metrics": self.metrics,
         }
 
     # ------------------------------------------------------------------
@@ -276,7 +287,7 @@ class CampaignRunner:
                 name = violation["invariant"]
                 by_invariant[name] = by_invariant.get(name, 0) + 1
         total_violations = sum(by_invariant.values())
-        return {
+        campaign_report: Dict[str, Any] = {
             "campaign": {
                 "seed": self.seed,
                 "episodes": self.episodes,
@@ -286,6 +297,7 @@ class CampaignRunner:
                 "drain_ns": self.drain_ns,
                 "faults_per_episode": self.faults_per_episode,
                 "use_raft": self.use_raft,
+                "metrics": self.metrics,
             },
             "episode_reports": episode_reports,
             "total_violations": total_violations,
@@ -296,6 +308,15 @@ class CampaignRunner:
             "messages_sent": sum(r["messages_sent"] for r in episode_reports),
             "ok": total_violations == 0,
         }
+        if self.metrics:
+            totals: Dict[str, int] = {}
+            for report in episode_reports:
+                for name, value in report["metrics"]["counters"].items():
+                    totals[name] = totals.get(name, 0) + value
+            campaign_report["metrics_totals"] = {
+                "counters": dict(sorted(totals.items()))
+            }
+        return campaign_report
 
 
 def _episode_worker(payload) -> Dict[str, Any]:

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli snapshot
     python -m repro.cli chaos --episodes 100 --seed 7
     python -m repro.cli verify --episodes 25 --seed 1
+    python -m repro.cli observe --hosts 8 --seed 1
 
 Each subcommand builds the paper's 32-host testbed, runs a short
 deterministic simulation, and prints a summary.
@@ -208,6 +209,7 @@ def cmd_chaos(args) -> int:
         n_processes=args.processes,
         faults_per_episode=args.faults,
         use_raft=args.raft,
+        metrics=args.metrics,
         jobs=args.jobs,
         progress=progress,
     )
@@ -221,6 +223,47 @@ def cmd_chaos(args) -> int:
         print(f"violations by invariant: "
               f"{report['violations_by_invariant']}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_observe(args) -> int:
+    from repro.obs.export import (
+        validate_chrome_trace,
+        validate_metrics_report,
+        write_json,
+    )
+    from repro.obs.runner import run_observe
+
+    report, trace, summary = run_observe(
+        seed=args.seed,
+        hosts=args.hosts,
+        mode=args.mode,
+        horizon_ns=args.horizon_us * 1000,
+        drain_ns=args.drain_us * 1000,
+        sample_interval_ns=args.sample_us * 1000,
+        n_faults=args.faults,
+    )
+    problems = validate_metrics_report(report) + validate_chrome_trace(trace)
+    for problem in problems:
+        print(f"OBSERVE INVALID: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    write_json(report, args.out_metrics)
+    write_json(trace, args.out_trace)
+    counters = summary["counters"]
+    print(f"observe: {args.hosts} hosts, mode={args.mode}, seed={args.seed}")
+    print(f"  {summary['scatterings_sent']} scatterings sent, "
+          f"{summary['messages_delivered']} messages delivered, "
+          f"{counters['engine.beacons_sent']} engine beacons, "
+          f"{counters['link.tx_packets']} link transmissions")
+    print(f"  {summary['trace_records']} trace records, "
+          f"{summary['samples_taken']} samples "
+          f"({len(report['series'])} series)")
+    print(f"  metrics -> {args.out_metrics}")
+    print(f"  trace   -> {args.out_trace} (chrome://tracing / Perfetto)")
+    if summary["trace_overflowed"]:
+        print("warning: trace record limit hit; trace is truncated",
+              file=sys.stderr)
     return 0
 
 
@@ -282,6 +325,7 @@ def cmd_verify(args) -> int:
         scale=args.scale,
         n_faults=args.faults,
         shrink=not args.no_shrink,
+        metrics=args.metrics,
         jobs=args.jobs,
         progress=print if not args.quiet else None,
     )
@@ -353,6 +397,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--raft", action="store_true",
                        help="replicate the controller on Raft and inject "
                             "leader partitions")
+    chaos.add_argument("--metrics", action="store_true",
+                       help="embed per-episode metrics summaries in the "
+                            "report (see docs/OBSERVABILITY.md)")
     chaos.add_argument("--jobs", type=int, default=1,
                        help="worker processes for episodes (the report is "
                             "byte-identical for any job count)")
@@ -382,6 +429,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true",
                        help="list benchmark names and exit")
 
+    observe = sub.add_parser(
+        "observe", help="instrumented run: metrics report + Chrome trace"
+    )
+    observe.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                         help="run seed (overrides the global --seed)")
+    observe.add_argument("--hosts", type=int, default=8, choices=[8, 32],
+                         help="fat-tree size (8: verify-small, 32: testbed)")
+    observe.add_argument("--mode", default="chip",
+                         choices=["chip", "switch_cpu", "host_delegate"])
+    observe.add_argument("--horizon-us", type=int, default=1000,
+                         help="traffic window (microseconds)")
+    observe.add_argument("--drain-us", type=int, default=1000,
+                         help="post-traffic drain (microseconds)")
+    observe.add_argument("--sample-us", type=int, default=25,
+                         help="sampler interval (microseconds)")
+    observe.add_argument("--faults", type=int, default=0,
+                         help="chaos faults injected during the window")
+    observe.add_argument("--out-metrics",
+                         default="results/observe_metrics.json")
+    observe.add_argument("--out-trace",
+                         default="results/observe_trace.json")
+
     verify = sub.add_parser(
         "verify", help="fuzzed episodes checked against the delivery-"
                        "contract reference oracle"
@@ -398,6 +467,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="episode topology (small: 8-host fat-tree)")
     verify.add_argument("--no-shrink", action="store_true",
                         help="skip shrinking the first failing episode")
+    verify.add_argument("--metrics", action="store_true",
+                        help="embed per-episode metrics summaries in the "
+                             "report (see docs/OBSERVABILITY.md)")
     verify.add_argument("--jobs", type=int, default=1,
                         help="worker processes for episode x mode pairs "
                              "(the report is byte-identical for any job "
@@ -415,6 +487,7 @@ COMMANDS = {
     "failure": cmd_failure,
     "snapshot": cmd_snapshot,
     "chaos": cmd_chaos,
+    "observe": cmd_observe,
     "bench": cmd_bench,
     "verify": cmd_verify,
 }

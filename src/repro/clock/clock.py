@@ -50,6 +50,20 @@ class HostClock:
         self._last_reading = reading
         return reading
 
+    def peek(self) -> int:
+        """What :meth:`now` would return, WITHOUT advancing the slew state.
+
+        Observability code (metric probes, instrumentation) must use this
+        instead of :meth:`now`: reading via :meth:`now` moves
+        ``_last_reading`` forward, which changes how a later negative sync
+        adjustment is slewed — i.e. observing the clock would perturb the
+        simulation.
+        """
+        reading = self._raw_now()
+        if reading < self._last_reading:
+            reading = self._last_reading
+        return reading
+
     @property
     def offset_ns(self) -> float:
         """Current total offset from true time (including drift so far)."""

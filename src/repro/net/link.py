@@ -33,6 +33,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs.registry import GLOBAL_METRICS
 from repro.sim import Simulator
 from repro.net.packet import (
     BEACON_BYTES,
@@ -144,6 +145,16 @@ class Link:
         self.dropped_burst = 0
         self.dropped_down = 0
         self.ecn_marked = 0
+        # Cluster-wide aggregate metrics (shared across all links).
+        metrics = getattr(sim, "metrics", None) or GLOBAL_METRICS
+        self._metrics = metrics
+        self._m_tx_packets = metrics.counter("link.tx_packets")
+        self._m_tx_bytes = metrics.counter("link.tx_bytes")
+        self._m_drop_overflow = metrics.counter("link.dropped_overflow")
+        self._m_drop_corruption = metrics.counter("link.dropped_corruption")
+        self._m_drop_burst = metrics.counter("link.dropped_burst")
+        self._m_drop_down = metrics.counter("link.dropped_down")
+        self._m_ecn = metrics.counter("link.ecn_marked")
 
     # ------------------------------------------------------------------
     def set_loss_rate(self, loss_rate: float) -> None:
@@ -275,6 +286,8 @@ class Link:
             )
         if not self.up:
             self.dropped_down += 1
+            if self._metrics.enabled:
+                self._m_drop_down.add()
             return False
         fifo = self._backlog_fifo
         backlog = self._backlog_bytes
@@ -288,6 +301,8 @@ class Link:
             and backlog + size > self.queue_capacity_bytes
         ):
             self.dropped_overflow += 1
+            if self._metrics.enabled:
+                self._m_drop_overflow.add()
             return False
         if (
             self.ecn_threshold_bytes is not None
@@ -295,6 +310,8 @@ class Link:
         ):
             packet.ecn = True
             self.ecn_marked += 1
+            if self._metrics.enabled:
+                self._m_ecn.add()
 
         busy_until = self._busy_until
         done_serializing = (busy_until if busy_until > now else now) + serialization
@@ -303,6 +320,9 @@ class Link:
         fifo.append((done_serializing, size))
         self.tx_packets += 1
         self.tx_bytes += size
+        if self._metrics.enabled:
+            self._m_tx_packets.add()
+            self._m_tx_bytes.add(size)
 
         sim.post_at(
             done_serializing + self.prop_delay_ns + self.degraded_extra_delay_ns,
@@ -327,15 +347,23 @@ class Link:
         if not self.up:
             # The link went down while the packet was in flight.
             self.dropped_down += 1
+            if self._metrics.enabled:
+                self._m_drop_down.add()
             return
         if self._burst is not None and self._burst_drops():
             self.dropped_burst += 1
+            if self._metrics.enabled:
+                self._m_drop_burst.add()
             return
         if self._rng is not None and self._rng.random() < self.loss_rate:
             self.dropped_corruption += 1
+            if self._metrics.enabled:
+                self._m_drop_corruption.add()
             return
         if self.drop_filter is not None and self.drop_filter(packet):
             self.dropped_corruption += 1
+            if self._metrics.enabled:
+                self._m_drop_corruption.add()
             return
         self.dst.receive(packet, self)
 

@@ -28,6 +28,7 @@ from repro.clock.clock import HostClock
 from repro.net.link import Link
 from repro.net.packet import Packet, PacketKind
 from repro.net.switch import Node
+from repro.obs.registry import GLOBAL_METRICS
 from repro.sim import Simulator
 
 # Delivered-message handler: fn(packet) -> None
@@ -57,6 +58,11 @@ class Host(Node):
         self.tx_packets = 0
         self.rx_packets = 0
         self.undeliverable = 0
+        metrics = getattr(sim, "metrics", None) or GLOBAL_METRICS
+        self._metrics = metrics
+        self._m_tx = metrics.counter("host.tx_packets")
+        self._m_rx = metrics.counter("host.rx_packets")
+        self._m_undeliverable = metrics.counter("host.undeliverable")
 
     # ------------------------------------------------------------------
     # Wiring
@@ -104,6 +110,8 @@ class Host(Node):
         if self.egress_hook is not None:
             self.egress_hook(packet)
         self.tx_packets += 1
+        if self._metrics.enabled:
+            self._m_tx.add()
         if self.nic_delay_ns:
             self.sim.post(self.nic_delay_ns, send, packet)
             return True
@@ -113,6 +121,8 @@ class Host(Node):
         if self.failed:
             return
         self.rx_packets += 1
+        if self._metrics.enabled:
+            self._m_rx.add()
         if self.ingress_hook is not None:
             consumed = self.ingress_hook(packet, in_link)
             if consumed:
@@ -126,6 +136,8 @@ class Host(Node):
         handler = self.endpoints.get(packet.dst)
         if handler is None:
             self.undeliverable += 1
+            if self._metrics.enabled:
+                self._m_undeliverable.add()
             return
         handler(packet)
 

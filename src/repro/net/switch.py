@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.net.link import Link
 from repro.net.packet import Packet, PacketKind
+from repro.obs.registry import GLOBAL_METRICS
 from repro.sim import Simulator
 
 
@@ -115,6 +116,10 @@ class Switch(Node):
         self._forward_cb = self._forward
         self.rx_packets = 0
         self.no_route_drops = 0
+        metrics = getattr(sim, "metrics", None) or GLOBAL_METRICS
+        self._metrics = metrics
+        self._m_rx = metrics.counter("switch.rx_packets")
+        self._m_no_route = metrics.counter("switch.no_route_drops")
 
     def install_engine(self, engine: OrderingEngine) -> None:
         self.engine = engine
@@ -136,6 +141,8 @@ class Switch(Node):
         if self.failed:
             return
         self.rx_packets += 1
+        if self._metrics.enabled:
+            self._m_rx.add()
         if self.engine is not None:
             forward = self.engine.on_packet(packet, in_link)
             if not forward:
@@ -156,6 +163,8 @@ class Switch(Node):
         candidates = self.routes.get(packet.dst_host)
         if not candidates:
             self.no_route_drops += 1
+            if self._metrics.enabled:
+                self._m_no_route.add()
             return
         link = self._pick(candidates, packet)
         link.send(packet)

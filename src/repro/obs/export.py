@@ -1,0 +1,289 @@
+"""Exporters: deterministic JSON metrics reports and Chrome trace files.
+
+Two artifacts come out of an instrumented run:
+
+- a **metrics report** (``repro.obs.metrics/1``): the registry snapshot,
+  sampler time series, and run metadata.  Pure function of (seed,
+  knobs) — no wall-clock or environment data — so the same run twice is
+  byte-identical (the ``obs-smoke`` CI job ``cmp``'s two runs).
+- a **Chrome trace-event file**: the JSON object format understood by
+  ``chrome://tracing`` and Perfetto.  Tracer records become instant
+  events (``ph: "i"``) on one track per component; sampler series
+  become counter events (``ph: "C"``).  Timestamps are microseconds
+  (float), converted from integer simulated nanoseconds.
+
+Validation is hand-rolled (``validate_*`` return problem lists) because
+the container has no ``jsonschema``; the CI job and the CLI both refuse
+to emit artifacts that fail their validator.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.sampler import Sampler
+    from repro.sim.trace import Tracer
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "build_chrome_trace",
+    "build_metrics_report",
+    "dumps_stable",
+    "metrics_summary",
+    "validate_chrome_trace",
+    "validate_metrics_report",
+    "write_json",
+]
+
+METRICS_SCHEMA = "repro.obs.metrics/1"
+
+# Chrome trace-event phases we emit: instant, counter, metadata.
+_TRACE_PHASES = {"i", "C", "M"}
+
+
+def write_json(obj: Any, path: str) -> None:
+    """Stable JSON dump: sorted keys, 2-space indent, trailing newline."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(obj, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def dumps_stable(obj: Any) -> str:
+    """The exact bytes :func:`write_json` would produce (for cmp tests)."""
+    return json.dumps(obj, indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Metrics report
+# ----------------------------------------------------------------------
+
+
+def build_metrics_report(
+    registry: "MetricsRegistry",
+    sampler: Optional["Sampler"] = None,
+    *,
+    meta: Optional[Dict[str, Any]] = None,
+    sim_now_ns: int = 0,
+    events_processed: int = 0,
+) -> Dict[str, Any]:
+    """Assemble the ``repro.obs.metrics/1`` report dict.
+
+    ``meta`` must contain only reproducible run parameters (seed, mode,
+    host count, horizons) — never wall-clock times or host environment —
+    or the byte-identity guarantee breaks.
+    """
+    return {
+        "schema": METRICS_SCHEMA,
+        "meta": dict(meta or {}),
+        "sim": {
+            "now_ns": int(sim_now_ns),
+            "events_processed": int(events_processed),
+        },
+        "metrics": registry.snapshot(),
+        "series": sampler.as_dict() if sampler is not None else {},
+        "samples_taken": sampler.samples_taken if sampler is not None else 0,
+    }
+
+
+def metrics_summary(registry: "MetricsRegistry") -> Dict[str, Any]:
+    """Compact registry digest for embedding in other JSON reports.
+
+    The chaos campaign and verify runner attach this per episode when
+    run with metrics enabled: every counter, plus count/p50/p99/max for
+    every histogram (the full bucket vectors stay in the metrics report
+    proper).  Key order is sorted, so embedding stays byte-stable.
+    """
+    return {
+        "counters": registry.counters_as_dict(),
+        "histograms": {
+            name: {
+                "count": h.count,
+                "p50": h.quantile(0.50),
+                "p99": h.quantile(0.99),
+                "max": h.max_value,
+            }
+            for name, h in sorted(registry.histograms.items())
+        },
+    }
+
+
+def validate_metrics_report(report: Any) -> List[str]:
+    """Structural check of a metrics report; returns a list of problems."""
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return ["report is not an object"]
+    if report.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            f"schema mismatch: {report.get('schema')!r} != {METRICS_SCHEMA!r}"
+        )
+    for key in ("meta", "sim", "metrics", "series"):
+        if not isinstance(report.get(key), dict):
+            problems.append(f"missing or non-object section: {key!r}")
+    sim = report.get("sim")
+    if isinstance(sim, dict):
+        for key in ("now_ns", "events_processed"):
+            if not isinstance(sim.get(key), int):
+                problems.append(f"sim.{key} missing or not an int")
+    metrics = report.get("metrics")
+    if isinstance(metrics, dict):
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(metrics.get(section), dict):
+                problems.append(f"metrics.{section} missing or not an object")
+        counters = metrics.get("counters")
+        if isinstance(counters, dict):
+            for name, value in counters.items():
+                if not isinstance(value, int):
+                    problems.append(f"counter {name!r} value not an int")
+        histograms = metrics.get("histograms")
+        if isinstance(histograms, dict):
+            for name, hist in histograms.items():
+                if not isinstance(hist, dict):
+                    problems.append(f"histogram {name!r} not an object")
+                    continue
+                bounds = hist.get("bounds")
+                counts = hist.get("counts")
+                if not isinstance(bounds, list) or not isinstance(counts, list):
+                    problems.append(f"histogram {name!r} missing bounds/counts")
+                elif len(counts) != len(bounds) + 1:
+                    problems.append(
+                        f"histogram {name!r} bucket shape: "
+                        f"{len(counts)} counts for {len(bounds)} bounds"
+                    )
+                elif isinstance(hist.get("count"), int) and sum(counts) != hist["count"]:
+                    problems.append(f"histogram {name!r} counts do not sum to count")
+    series = report.get("series")
+    if isinstance(series, dict):
+        for name, points in series.items():
+            if not isinstance(points, list):
+                problems.append(f"series {name!r} not a list")
+                continue
+            last_t = None
+            for point in points:
+                if not (isinstance(point, list) and len(point) == 2):
+                    problems.append(f"series {name!r} has a malformed point")
+                    break
+                if last_t is not None and point[0] < last_t:
+                    problems.append(f"series {name!r} timestamps not monotone")
+                    break
+                last_t = point[0]
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event file
+# ----------------------------------------------------------------------
+
+
+def _sanitize(value: Any) -> Any:
+    """Make a tracer field JSON-safe (tuples → lists, objects → repr)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    return repr(value)
+
+
+def build_chrome_trace(
+    tracer: Optional["Tracer"] = None,
+    sampler: Optional["Sampler"] = None,
+    *,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a ``chrome://tracing``/Perfetto JSON-object-format document.
+
+    One pid per traced component (sorted by name, so pid assignment is
+    deterministic regardless of event order); pid 0 carries the sampler
+    counter tracks.  ``ts`` is microseconds as required by the format;
+    simulated integer ns divide to exact 1e-3 us ticks so the float
+    repr — and therefore the emitted bytes — is stable.
+    """
+    events: List[Dict[str, Any]] = []
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "metrics"},
+        }
+    )
+    if tracer is not None:
+        components = sorted({component for _, component, _, _ in tracer.records})
+        pids = {component: i + 1 for i, component in enumerate(components)}
+        for component in components:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[component],
+                    "tid": 0,
+                    "args": {"name": component},
+                }
+            )
+        for time, component, event, fields in tracer.records:
+            record: Dict[str, Any] = {
+                "name": event,
+                "cat": component.split(".", 1)[0],
+                "ph": "i",
+                "s": "t",
+                "ts": time / 1000.0,
+                "pid": pids[component],
+                "tid": 0,
+            }
+            if fields:
+                record["args"] = {k: _sanitize(v) for k, v in fields.items()}
+            events.append(record)
+    if sampler is not None:
+        for name, points in sampler.as_dict().items():
+            for t, v in points:
+                events.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": t / 1000.0,
+                        "pid": 0,
+                        "tid": 0,
+                        "args": {"value": v},
+                    }
+                )
+    doc: Dict[str, Any] = {
+        "displayTimeUnit": "ns",
+        "traceEvents": events,
+    }
+    if meta:
+        doc["otherData"] = dict(meta)
+    return doc
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Structural check of a trace-event document; returns problems."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["trace is not an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"traceEvents[{i}] not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _TRACE_PHASES:
+            problems.append(f"traceEvents[{i}] unsupported phase: {ph!r}")
+        if not isinstance(event.get("name"), str):
+            problems.append(f"traceEvents[{i}] missing name")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"traceEvents[{i}] missing pid")
+        if ph != "M" and not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"traceEvents[{i}] missing ts")
+        if ph == "C" and "args" not in event:
+            problems.append(f"traceEvents[{i}] counter event without args")
+        if len(problems) > 20:
+            problems.append("... (truncated)")
+            break
+    return problems

@@ -40,6 +40,10 @@ class BarrierRegisterFile:
         self._tracer = None
         self._trace_id = ""
         self._trace_sim = None
+        # Optional metrics for the same membership transitions (see
+        # attach_metrics); None until attached, so unattached register
+        # files pay nothing.
+        self._metrics = None
 
     def attach_tracer(self, tracer, component: str, sim) -> None:
         """Record membership transitions to ``tracer`` as ``component``."""
@@ -47,7 +51,20 @@ class BarrierRegisterFile:
         self._trace_id = component
         self._trace_sim = sim
 
+    def attach_metrics(self, registry) -> None:
+        """Count membership transitions in ``registry``.
+
+        Counters are shared across register files (``barrier.link_add``
+        etc.), giving a cluster-wide view of how often the §4.2
+        membership machinery runs; transitions are rare, so the lookup
+        per event is off the hot path.
+        """
+        self._metrics = registry
+
     def _trace(self, event: str, link_id: Hashable, **fields) -> None:
+        metrics = self._metrics
+        if metrics is not None and metrics.enabled:
+            metrics.counter("barrier." + event).add()
         tracer = self._tracer
         if tracer is not None and tracer.enabled:
             tracer.trace(
@@ -64,7 +81,7 @@ class BarrierRegisterFile:
             raise ValueError(f"link already registered: {link_id!r}")
         self._registers[link_id] = initial
         self._invalidate()
-        if self._tracer is not None:
+        if self._tracer is not None or self._metrics is not None:
             self._trace("link_add", link_id, initial=initial)
 
     def join_link(self, link_id: Hashable) -> None:
@@ -76,7 +93,7 @@ class BarrierRegisterFile:
         if link_id in self._registers or link_id in self._pending:
             raise ValueError(f"link already registered: {link_id!r}")
         self._pending[link_id] = 0
-        if self._tracer is not None:
+        if self._tracer is not None or self._metrics is not None:
             self._trace("link_join", link_id)
 
     def remove_link(self, link_id: Hashable) -> None:
@@ -86,7 +103,7 @@ class BarrierRegisterFile:
         if removed is None and pending_removed is None:
             raise KeyError(f"unknown link: {link_id!r}")
         self._invalidate()
-        if self._tracer is not None:
+        if self._tracer is not None or self._metrics is not None:
             self._trace(
                 "link_remove", link_id,
                 last=removed if removed is not None else pending_removed,
@@ -109,7 +126,7 @@ class BarrierRegisterFile:
         value = self._registers.pop(link_id)  # KeyError if unknown
         self._pending[link_id] = 0
         self._invalidate()
-        if self._tracer is not None:
+        if self._tracer is not None or self._metrics is not None:
             self._trace("link_demote", link_id, last=value)
 
     def has_link(self, link_id: Hashable) -> bool:
@@ -140,7 +157,7 @@ class BarrierRegisterFile:
                 if self._pending[link_id] >= self.minimum():
                     self._registers[link_id] = self._pending.pop(link_id)
                     self._invalidate()
-                    if self._tracer is not None:
+                    if self._tracer is not None or self._metrics is not None:
                         self._trace("link_promote", link_id, barrier=barrier)
                 return
         registers = self._registers

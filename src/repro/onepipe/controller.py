@@ -34,6 +34,7 @@ from repro.net.link import Link
 from repro.net.packet import Packet, PacketKind
 from repro.net.rpc import Directory
 from repro.net.topology import Topology
+from repro.obs.registry import GLOBAL_METRICS
 from repro.onepipe.config import OnePipeConfig
 from repro.onepipe.failure import DeadLinkReport, determine
 from repro.sim import Simulator
@@ -88,6 +89,13 @@ class Controller:
         self.config = config
         self.directory = directory
         self._tracer = getattr(sim, "tracer", None) or GLOBAL_TRACER
+        metrics = getattr(sim, "metrics", None) or GLOBAL_METRICS
+        self._metrics = metrics
+        self._m_reports = metrics.counter("controller.dead_link_reports")
+        self._m_recoveries = metrics.counter("controller.recoveries")
+        self._m_forwards = metrics.counter("controller.forwarded_messages")
+        # Detect→Resume latency of completed episodes (§5.2, Fig. 10).
+        self._m_recovery_ns = metrics.histogram("controller.recovery_ns")
         self.replicator = replicator if replicator is not None else LocalReplicator()
         # Wired by the cluster after construction.
         self.agents: Dict[str, Any] = {}     # host_id -> HostAgent
@@ -152,6 +160,8 @@ class Controller:
                 reporter=report.reporter, link=report.link.name,
                 last_commit=report.last_commit,
             )
+        if self._metrics.enabled:
+            self._m_reports.add()
         self._reports.append(report)
         self._report_engines[report.link] = self.engines.get(report.reporter)
         self._episode.dead_links.append(report.link.name)
@@ -262,6 +272,9 @@ class Controller:
                 failed_procs=tuple(p for p, _ts in episode.failed_procs),
             )
         self.recoveries.append(episode)
+        if self._metrics.enabled:
+            self._m_recoveries.add()
+            self._m_recovery_ns.observe(episode.duration_ns)
         self._episode = None
         self._reports = []
         self._report_engines = {}
@@ -288,6 +301,8 @@ class Controller:
 
     def _forward(self, sender, msg) -> None:
         self.forwarded_messages += 1
+        if self._metrics.enabled:
+            self._m_forwards.add()
         if self._tracer.enabled:
             self._tracer.trace(
                 self.sim.now, "controller", "forward",

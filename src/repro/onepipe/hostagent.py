@@ -30,6 +30,7 @@ from repro.net.link import Link
 from repro.net.nic import Host
 from repro.net.packet import Packet, PacketKind, acquire_beacon, release_beacon
 from repro.net.rpc import Directory
+from repro.obs.registry import GLOBAL_METRICS
 from repro.onepipe.config import MODE_CHIP, OnePipeConfig
 from repro.sim import Future
 
@@ -82,6 +83,20 @@ class HostAgent:
             config.beacon_interval_ns, self._beacon_tick
         )
         self.beacons_sent = 0
+        metrics = getattr(self.sim, "metrics", None) or GLOBAL_METRICS
+        self._metrics = metrics
+        self._m_beacons = metrics.counter("hostagent.beacons_sent")
+        self._m_rx_drops = metrics.counter("hostagent.receiver_drops")
+        self._m_flushes = metrics.counter("hostagent.flushes")
+        # How far the received barriers trail this host's clock when a
+        # flush runs — the delivery-wait half of eq. 4.1.  Uses
+        # clock.peek(), never clock.now(): reading via now() would
+        # advance the monotonic-slew state and perturb the run.
+        self._m_be_lag = metrics.histogram("hostagent.be_barrier_lag_ns")
+        self._m_commit_lag = metrics.histogram("hostagent.commit_barrier_lag_ns")
+        # Per-hop beacon latency observed at host ingress (sent_at is
+        # stamped at the emitting node).
+        self._m_beacon_hop = metrics.histogram("hostagent.beacon_hop_ns")
 
     def close(self) -> None:
         self._beacon_task.cancel()
@@ -159,8 +174,12 @@ class HostAgent:
                 # A lost beacon stalls this receiver's barrier until the
                 # next one (the paper's Fig. 9b mechanism).
                 self.receiver_drops += 1
+                if self._metrics.enabled:
+                    self._m_rx_drops.add()
                 release_beacon(packet)
                 return True
+            if self._metrics.enabled:
+                self._m_beacon_hop.observe(self.sim.now - packet.sent_at)
             self._update_barriers(packet.barrier_ts, packet.commit_ts)
             release_beacon(packet)
             return True
@@ -171,6 +190,8 @@ class HostAgent:
                 and self._loss_rng.random() < self.receiver_loss_rate
             ):
                 self.receiver_drops += 1
+                if self._metrics.enabled:
+                    self._m_rx_drops.add()
                 if self._barriers_on_packets:
                     self._update_barriers(packet.barrier_ts, packet.commit_ts)
                 return True
@@ -204,6 +225,11 @@ class HostAgent:
 
     def _flush(self) -> None:
         self._flush_scheduled = False
+        if self._metrics.enabled:
+            self._m_flushes.add()
+            now = self.clock.peek()
+            self._m_be_lag.observe(now - self.rx_be_barrier)
+            self._m_commit_lag.observe(now - self.rx_commit_barrier)
         lag = self.artificial_barrier_lag_ns
         if lag:
             self.sim.schedule(lag, self._flush_lagged,
@@ -230,6 +256,8 @@ class HostAgent:
             return
         beacon = acquire_beacon()  # src/dst default to -1 (node-level)
         self.beacons_sent += 1
+        if self._metrics.enabled:
+            self._m_beacons.add()
         self.host.send_packet(beacon)  # egress hook stamps the barriers
 
     # ------------------------------------------------------------------

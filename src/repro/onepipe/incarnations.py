@@ -29,6 +29,7 @@ from typing import Callable, Dict, Optional
 from repro.net.link import Link
 from repro.net.packet import Packet, PacketKind, acquire_beacon, release_beacon
 from repro.net.switch import Switch
+from repro.obs.registry import GLOBAL_METRICS
 from repro.onepipe.barrier import BarrierRegisterFile
 from repro.onepipe.config import (
     MODE_CHIP,
@@ -62,6 +63,14 @@ class _OrderingEngineBase:
         self._task = None
         self.beacons_sent = 0
         self.links_declared_dead = 0
+        metrics = getattr(sim, "metrics", None) or GLOBAL_METRICS
+        self._metrics = metrics
+        self._m_beacons = metrics.counter("engine.beacons_sent")
+        self._m_dead_links = metrics.counter("engine.links_declared_dead")
+        # One-hop beacon latency as seen at this engine's ingress
+        # (emitting node stamps sent_at; see _send_beacons and
+        # Host.send_packet).
+        self._m_beacon_hop = metrics.histogram("engine.beacon_hop_ns")
         # Cascade state: barrier waves propagate with a short settle
         # window per hop instead of waiting a full beacon tick — with
         # synchronized host beacons this is what makes delivery latency
@@ -85,6 +94,10 @@ class _OrderingEngineBase:
             self.commit.attach_tracer(
                 tracer, f"{switch.node_id}.commit", self.sim
             )
+        metrics = getattr(self.sim, "metrics", None)
+        if metrics is not None:
+            self.be.attach_metrics(metrics)
+            self.commit.attach_metrics(metrics)
         for link in switch.in_links:
             self.be.add_link(link)
             self.commit.add_link(link)
@@ -143,6 +156,8 @@ class _OrderingEngineBase:
                 continue
             self._dead.add(link)
             self.links_declared_dead += 1
+            if self._metrics.enabled:
+                self._m_dead_links.add()
             # Best-effort plane: decentralized removal (§4.2).
             if self.be.has_link(link):
                 self.be.remove_link(link)
@@ -200,6 +215,8 @@ class _OrderingEngineBase:
         Charge beacons the same pipeline delay as forwarded packets.
         """
         self.beacons_sent += len(out_links)
+        if self._metrics.enabled:
+            self._m_beacons.add(len(out_links))
         self.sim.post(
             self.switch.forwarding_delay_ns,
             self._send_beacons,
@@ -212,8 +229,14 @@ class _OrderingEngineBase:
         switch = self.switch
         if switch is None or switch.failed:
             return
+        now = self.sim.now
         for link in out_links:
-            link.send(acquire_beacon(be_min, commit_min))
+            beacon = acquire_beacon(be_min, commit_min)
+            # Engine beacons bypass Host.send_packet, which is where
+            # host-emitted packets get sent_at; stamp here so per-hop
+            # beacon-latency histograms see the true emission time.
+            beacon.sent_at = now
+            link.send(beacon)
 
     def _links_needing_beacons(self, now: int) -> list:
         """Output links that need an explicit barrier beacon right now."""
@@ -276,6 +299,8 @@ class ProgrammableChipEngine(_OrderingEngineBase):
         if packet.kind == PacketKind.BEACON:
             # Beacons are strictly hop-by-hop; consumed here, relayed by
             # the cascade below.
+            if self._metrics.enabled:
+                self._m_beacon_hop.observe(self.sim.now - packet.sent_at)
             release_beacon(packet)
             forward = False
         else:
@@ -358,6 +383,8 @@ class SwitchCpuEngine(_OrderingEngineBase):
             return False
         self._note_arrival(in_link)
         if packet.kind == PacketKind.BEACON:
+            if self._metrics.enabled:
+                self._m_beacon_hop.observe(self.sim.now - packet.sent_at)
             buffered = self._rx_buffer.get(in_link)
             if buffered is None:
                 self._rx_buffer[in_link] = [packet.barrier_ts, packet.commit_ts]

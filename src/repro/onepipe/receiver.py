@@ -31,6 +31,7 @@ import heapq
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.packet import Packet, PacketKind
+from repro.obs.registry import GLOBAL_METRICS
 from repro.onepipe.config import OnePipeConfig
 from repro.sim.trace import GLOBAL_TRACER
 
@@ -62,6 +63,16 @@ class ProcessReceiver:
         self.config = config
         self._tracer = getattr(self.sim, "tracer", None) or GLOBAL_TRACER
         self._trace_id = f"recv.{proc_id}"
+        metrics = getattr(self.sim, "metrics", None) or GLOBAL_METRICS
+        self._metrics = metrics
+        self._m_delivered = metrics.counter("receiver.delivered")
+        self._m_late_naks = metrics.counter("receiver.late_naks")
+        self._m_duplicates = metrics.counter("receiver.duplicates")
+        self._m_discarded = metrics.counter("receiver.discarded_on_failure")
+        # How far past a message's timestamp the releasing barrier had
+        # advanced at delivery (floor - ts, both in the sender-clock
+        # timestamp domain) — the reorder-wait half of eq. 4.1.
+        self._m_delivery_lag = metrics.histogram("receiver.delivery_lag_ns")
         self.deliver_callback: Optional[DeliverCallback] = None
         # Reorder buffer: (ts, src, msg_id, reliable, payload, size, key)
         # where key is the (src, msg_id) tuple — carried along so flush can
@@ -110,6 +121,8 @@ class ProcessReceiver:
             # Retransmission of something already buffered or delivered:
             # the original ACK was lost; re-ACK, do not re-buffer.
             self.duplicates += 1
+            if self._metrics.enabled:
+                self._m_duplicates.add()
             self._send_ack(packet)
             return
 
@@ -144,6 +157,8 @@ class ProcessReceiver:
         if ts < floor:
             # Arrived after its barrier already passed: too late (§4.1).
             self.late_naks += 1
+            if self._metrics.enabled:
+                self._m_late_naks.add()
             if self._tracer.enabled:
                 self._tracer.trace(
                     self.sim.now, self._trace_id, "late_nak",
@@ -225,6 +240,10 @@ class ProcessReceiver:
     ) -> None:
         self.delivered_count += 1
         self.last_delivered_ts = ts
+        if self._metrics.enabled:
+            self._m_delivered.add()
+            floor = self._commit_floor if reliable else self._be_floor
+            self._m_delivery_lag.observe(floor - ts)
         if self._tracer.enabled:
             # The delivery trace the conformance checker (repro.verify)
             # diffs against the reference oracle: unlike the public
@@ -290,6 +309,8 @@ class ProcessReceiver:
                 del self._assembling[key]
                 discarded += 1
         self.discarded_on_failure += discarded
+        if discarded and self._metrics.enabled:
+            self._m_discarded.add(discarded)
         if self._tracer.enabled:
             self._tracer.trace(
                 self.sim.now, self._trace_id, "discard_from",

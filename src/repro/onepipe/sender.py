@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence,
 
 from repro.net.packet import Packet, PacketKind, fragment_sizes
 from repro.net.transport import SendWindow
+from repro.obs.registry import GLOBAL_METRICS
 from repro.onepipe.config import OnePipeConfig
 from repro.sim import Future
 from repro.sim.trace import GLOBAL_TRACER
@@ -129,6 +130,12 @@ class ProcessSender:
         self.config = config
         self._tracer = getattr(self.sim, "tracer", None) or GLOBAL_TRACER
         self._trace_id = f"send.{proc_id}"
+        metrics = getattr(self.sim, "metrics", None) or GLOBAL_METRICS
+        self._metrics = metrics
+        self._m_scatterings = metrics.counter("sender.scatterings_sent")
+        self._m_messages = metrics.counter("sender.messages_sent")
+        self._m_rtx = metrics.counter("sender.retransmissions")
+        self._m_failures = metrics.counter("sender.send_failures")
         self.max_wait_queue = max_wait_queue
         self.windows: Dict[int, SendWindow] = {}
         self.wait_queue: deque[Scattering] = deque()
@@ -280,6 +287,9 @@ class ProcessSender:
     def _launch(self, scattering: Scattering) -> None:
         scattering.dispatched = True
         self.scatterings_sent += 1
+        if self._metrics.enabled:
+            self._m_scatterings.add()
+            self._m_messages.add(len(scattering.msgs))
         config = self.config
         for msg in scattering.msgs:
             window = self._window(msg.dst)
@@ -402,6 +412,8 @@ class ProcessSender:
             return
         msg.rtx_count += 1
         self.retransmissions += 1
+        if self._metrics.enabled:
+            self._m_rtx.add()
         self._transmit(msg)
         backoff = self.config.rtx_timeout_ns << min(msg.rtx_count, 4)
         egress_done = max(self.sim.now, self._cpu_free_at)
@@ -415,6 +427,8 @@ class ProcessSender:
             return
         msg.failed = True
         self.send_failures += 1
+        if self._metrics.enabled:
+            self._m_failures.add()
         if self._tracer.enabled:
             self._tracer.trace(
                 self.sim.now, self._trace_id, "send_fail",
@@ -443,6 +457,8 @@ class ProcessSender:
         self, scattering: Scattering, dst: int, payload: Any
     ) -> None:
         self.send_failures += 1
+        if self._metrics.enabled:
+            self._m_failures.add()
         if self.send_fail_callback is not None:
             self.send_fail_callback(-1, dst, payload)
 

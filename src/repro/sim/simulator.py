@@ -39,6 +39,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterator, Optional
 
+from repro.obs.registry import MetricsRegistry
 from repro.sim.events import EventHandle
 from repro.sim.randomness import RngStreams
 from repro.sim.trace import Tracer
@@ -112,6 +113,10 @@ class Simulator:
         # (``sim.tracer.enabled = True``) before building a cluster rather
         # than replacing the attribute afterwards.
         self.tracer = Tracer(enabled=False)
+        # Metrics registry, same contract as the tracer: disabled by
+        # default, cached by components, enable *in place*
+        # (``sim.metrics.enabled = True``) before building a cluster.
+        self.metrics = MetricsRegistry(enabled=False)
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -230,18 +230,25 @@ class EpisodeRun:
     messages_delivered: int
     late_naks: int
     trace_records: int
+    metrics: Optional[Dict[str, Any]] = None   # metrics_summary when enabled
 
 
 def replay_episode(
     spec: EpisodeSpec,
     mutate: Optional[Callable[[OnePipeCluster], None]] = None,
     trace_limit: int = 1_000_000,
+    metrics: bool = False,
 ) -> EpisodeRun:
     """Execute ``spec`` on a fresh simulator and extract the observation.
 
     ``mutate`` is applied to the built cluster before traffic starts —
     the mutation-testing hook that lets the suite prove the oracle
     catches an intentionally broken ordering implementation.
+
+    ``metrics`` additionally enables the metrics registry for the run
+    and attaches a :func:`repro.obs.export.metrics_summary` digest to
+    the returned :class:`EpisodeRun` — the delivery trace and oracle
+    verdict are identical either way (``tests/obs/test_determinism.py``).
     """
     from repro.onepipe.sender import ProcessSender
 
@@ -249,6 +256,8 @@ def replay_episode(
     # Enable in place: endpoints cache the tracer object at construction.
     sim.tracer.enabled = True
     sim.tracer.limit = trace_limit
+    if metrics:
+        sim.metrics.enabled = True
     # Message ids come from a process-wide counter; pin it so the same
     # spec always replays to byte-identical traces and divergence
     # reports, no matter what ran earlier in this Python process.  The
@@ -299,6 +308,11 @@ def replay_episode(
         cluster.endpoint(i).receiver.late_naks
         for i in range(cluster.n_processes)
     )
+    summary = None
+    if metrics:
+        from repro.obs.export import metrics_summary
+
+        summary = metrics_summary(sim.metrics)
     return EpisodeRun(
         spec=spec,
         observation=observation,
@@ -309,6 +323,7 @@ def replay_episode(
         ),
         late_naks=late_naks,
         trace_records=len(sim.tracer.records),
+        metrics=summary,
     )
 
 

@@ -38,13 +38,14 @@ def episode_seed(seed: int, episode: int) -> int:
 def check_episode(
     spec: EpisodeSpec,
     mutate: Optional[Callable[..., None]] = None,
+    metrics: bool = False,
 ) -> Tuple[EpisodeRun, List[Divergence]]:
     """Replay ``spec`` and diff its traces against the oracle.
 
     Every divergence is stamped with the spec's replay coordinates so a
     report line alone is enough to reproduce it.
     """
-    run = replay_episode(spec, mutate=mutate)
+    run = replay_episode(spec, mutate=mutate, metrics=metrics)
     divergences = ReferenceOracle(run.observation).check()
     for divergence in divergences:
         divergence.seed = spec.seed
@@ -73,7 +74,9 @@ def _check_one(
         n_faults=knobs["n_faults"],
     )
     try:
-        run, divergences = check_episode(spec, mutate=mutate)
+        run, divergences = check_episode(
+            spec, mutate=mutate, metrics=knobs.get("metrics", False)
+        )
     except VerifyHarnessError as exc:
         return {
             "harness_error": {
@@ -83,19 +86,20 @@ def _check_one(
                 "error": str(exc),
             }
         }
-    return {
-        "result": {
-            "episode": index,
-            "mode": mode,
-            "seed": ep_seed,
-            "sends_issued": run.sends_issued,
-            "sends_skipped": run.sends_skipped,
-            "messages_delivered": run.messages_delivered,
-            "late_naks": run.late_naks,
-            "faults": len(spec.faults),
-            "divergences": [d.to_dict() for d in divergences],
-        }
+    result: Dict[str, Any] = {
+        "episode": index,
+        "mode": mode,
+        "seed": ep_seed,
+        "sends_issued": run.sends_issued,
+        "sends_skipped": run.sends_skipped,
+        "messages_delivered": run.messages_delivered,
+        "late_naks": run.late_naks,
+        "faults": len(spec.faults),
+        "divergences": [d.to_dict() for d in divergences],
     }
+    if run.metrics is not None:
+        result["metrics"] = run.metrics
+    return {"result": result}
 
 
 def _episode_worker(payload) -> Dict[str, Any]:
@@ -117,6 +121,7 @@ class VerifyRunner:
         shrink: bool = True,
         max_shrink_replays: int = 60,
         mutate: Optional[Callable[..., None]] = None,
+        metrics: bool = False,
         jobs: int = 1,
         progress: Optional[Callable[[str], None]] = None,
     ) -> None:
@@ -125,6 +130,7 @@ class VerifyRunner:
         self.modes = tuple(modes) if modes else MODES
         self.scale = scale
         self.n_faults = n_faults
+        self.metrics = metrics
         self.shrink = shrink
         self.max_shrink_replays = max_shrink_replays
         self.mutate = mutate
@@ -147,6 +153,7 @@ class VerifyRunner:
             "seed": self.seed,
             "scale": self.scale,
             "n_faults": self.n_faults,
+            "metrics": self.metrics,
         }
         payloads = [
             (knobs, index, mode)
@@ -214,6 +221,7 @@ class VerifyRunner:
             "modes": list(self.modes),
             "scale": self.scale,
             "n_faults": self.n_faults,
+            "metrics": self.metrics,
             "episodes_run": len(results),
             "divergence_count": divergence_count,
             "harness_errors": harness_errors,

@@ -1,0 +1,82 @@
+"""Overhead guard: disabled metrics must stay (almost) free.
+
+Two layers of protection:
+
+1. ``bench_metrics_hotpath`` itself — the disabled guard must be much
+   cheaper than the enabled update, and the disabled rate must not have
+   regressed against the committed ``BENCH_core.json`` baseline.
+2. The benchmark lives in the ``core`` suite, so CI's ``bench --check``
+   run re-asserts the baseline comparison on every PR.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.microbench import (
+    bench_metrics_hotpath,
+    BENCHMARKS,
+    load_bench,
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+BASELINE = os.path.join(REPO_ROOT, "BENCH_core.json")
+
+# Wall-clock comparisons across machines need slack; this guards against
+# order-of-magnitude regressions (e.g. the guard starting to allocate),
+# not few-percent noise.
+MACHINE_TOLERANCE = 5.0
+
+
+@pytest.fixture(scope="module")
+def result():
+    return bench_metrics_hotpath(seed=1, scale=0.1)
+
+
+def test_benchmark_is_registered_in_core_suite():
+    assert "metrics_hotpath" in BENCHMARKS
+
+
+def test_deterministic_metrics(result):
+    assert result.metrics["disabled_updates"] == 0
+    assert result.metrics["enabled_updates"] == result.metrics["ops"]
+    assert result.metrics["enabled_hist_count"] == result.metrics["ops"]
+
+
+def test_disabled_guard_is_cheaper_than_enabled_update(result):
+    disabled = result.rates["disabled_ops_per_sec"]
+    enabled = result.rates["enabled_ops_per_sec"]
+    assert disabled > 0 and enabled > 0
+    # The disabled path is one attribute check; the enabled path does a
+    # counter add plus a histogram bisect.  Even with timer noise the
+    # guard must win clearly.
+    assert disabled >= 2.0 * enabled, (
+        f"disabled guard ({disabled:,.0f}/s) not meaningfully faster "
+        f"than enabled updates ({enabled:,.0f}/s)"
+    )
+
+
+def test_disabled_rate_not_regressed_vs_committed_baseline(result):
+    baseline = load_bench(BASELINE)
+    assert "metrics_hotpath" in baseline["benchmarks"], (
+        "BENCH_core.json is missing metrics_hotpath — regenerate with "
+        "`python -m repro.cli bench --seed 1`"
+    )
+    base_rate = baseline["benchmarks"]["metrics_hotpath"]["rates"][
+        "disabled_ops_per_sec"
+    ]
+    current = result.rates["disabled_ops_per_sec"]
+    assert current * MACHINE_TOLERANCE >= base_rate, (
+        f"disabled-metrics hot path regressed: {current:,.0f}/s vs "
+        f"baseline {base_rate:,.0f}/s (tolerance {MACHINE_TOLERANCE}x)"
+    )
+
+
+def test_baseline_has_instrumented_e2e_benchmarks():
+    """The committed baseline was produced with instrumentation compiled
+    into every component (this PR), so the e2e rates it pins already
+    include the disabled-guard cost — CI's bench --check therefore
+    guards the *whole* hot path, not just the microbench loop."""
+    baseline = load_bench(BASELINE)
+    for name in ("e2e_chip", "link_forward", "chaos_episode"):
+        assert name in baseline["benchmarks"]

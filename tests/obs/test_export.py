@@ -1,0 +1,174 @@
+"""Tests for the metrics-report and Chrome-trace exporters."""
+
+import json
+
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    build_chrome_trace,
+    build_metrics_report,
+    dumps_stable,
+    metrics_summary,
+    validate_chrome_trace,
+    validate_metrics_report,
+    write_json,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import Sampler
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+
+
+def _populated_registry():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("msgs").add(7)
+    reg.gauge("depth").set(2.5)
+    reg.histogram("lat", bounds=(10, 20)).observe(15)
+    return reg
+
+
+class TestMetricsReport:
+    def test_valid_report_passes_validation(self):
+        reg = _populated_registry()
+        report = build_metrics_report(
+            reg, meta={"seed": 1}, sim_now_ns=500, events_processed=10
+        )
+        assert report["schema"] == METRICS_SCHEMA
+        assert validate_metrics_report(report) == []
+        assert report["metrics"]["counters"]["msgs"] == 7
+        assert report["sim"] == {"now_ns": 500, "events_processed": 10}
+
+    def test_report_with_sampler_series(self):
+        sim = Simulator(seed=1)
+        reg = _populated_registry()
+        sampler = Sampler(sim, registry=reg, interval_ns=100)
+        sampler.start()
+        sim.run(until=300)
+        report = build_metrics_report(reg, sampler)
+        assert validate_metrics_report(report) == []
+        assert report["samples_taken"] == 3
+        assert report["series"]["msgs"] == [[100, 7], [200, 7], [300, 7]]
+
+    def test_validator_catches_schema_mismatch(self):
+        report = build_metrics_report(_populated_registry())
+        report["schema"] = "bogus/0"
+        assert any("schema" in p for p in validate_metrics_report(report))
+
+    def test_validator_catches_bucket_shape_mismatch(self):
+        report = build_metrics_report(_populated_registry())
+        report["metrics"]["histograms"]["lat"]["counts"] = [1, 2]
+        assert any("bucket shape" in p for p in validate_metrics_report(report))
+
+    def test_validator_catches_count_sum_mismatch(self):
+        report = build_metrics_report(_populated_registry())
+        report["metrics"]["histograms"]["lat"]["count"] = 99
+        assert any("sum" in p for p in validate_metrics_report(report))
+
+    def test_validator_catches_non_monotone_series(self):
+        report = build_metrics_report(_populated_registry())
+        report["series"] = {"x": [[200, 1], [100, 2]]}
+        assert any("monotone" in p for p in validate_metrics_report(report))
+
+    def test_validator_catches_non_int_counter(self):
+        report = build_metrics_report(_populated_registry())
+        report["metrics"]["counters"]["msgs"] = "7"
+        assert any("not an int" in p for p in validate_metrics_report(report))
+
+    def test_non_dict_is_rejected(self):
+        assert validate_metrics_report([]) == ["report is not an object"]
+
+
+class TestChromeTrace:
+    def _tracer(self):
+        tracer = Tracer(enabled=True)
+        tracer.trace(1000, "recv.1", "deliver", src=0, payload="x")
+        tracer.trace(2000, "ctrl", "resume")
+        tracer.trace(1500, "recv.1", "flush")
+        return tracer
+
+    def test_trace_validates_and_has_expected_events(self):
+        doc = build_chrome_trace(self._tracer(), meta={"seed": 1})
+        assert validate_chrome_trace(doc) == []
+        events = doc["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        metas = [e for e in events if e["ph"] == "M"]
+        # 1 metrics process + 2 components named, 3 instant events.
+        assert len(metas) == 3
+        assert len(instants) == 3
+        assert doc["otherData"] == {"seed": 1}
+        assert doc["displayTimeUnit"] == "ns"
+
+    def test_pid_assignment_is_deterministic_by_name(self):
+        doc = build_chrome_trace(self._tracer())
+        names = {
+            e["args"]["name"]: e["pid"]
+            for e in doc["traceEvents"] if e["ph"] == "M"
+        }
+        # sorted component order: ctrl -> 1, recv.1 -> 2 (pid 0 = metrics)
+        assert names == {"metrics": 0, "ctrl": 1, "recv.1": 2}
+
+    def test_ts_is_microseconds(self):
+        doc = build_chrome_trace(self._tracer())
+        deliver = next(
+            e for e in doc["traceEvents"] if e.get("name") == "deliver"
+        )
+        assert deliver["ts"] == 1.0  # 1000 ns
+        assert deliver["s"] == "t"
+        assert deliver["cat"] == "recv"
+        assert deliver["args"] == {"src": 0, "payload": "x"}
+
+    def test_sampler_series_become_counter_events(self):
+        sim = Simulator(seed=1)
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("msgs").add(3)
+        sampler = Sampler(sim, registry=reg, interval_ns=500)
+        sampler.start()
+        sim.run(until=1000)
+        doc = build_chrome_trace(None, sampler)
+        assert validate_chrome_trace(doc) == []
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert [(e["ts"], e["args"]["value"]) for e in counters] == [
+            (0.5, 3), (1.0, 3)
+        ]
+        assert all(e["pid"] == 0 for e in counters)
+
+    def test_non_json_fields_are_sanitized(self):
+        tracer = Tracer(enabled=True)
+        tracer.trace(1, "c", "e", pair=(1, 2), obj=object())
+        doc = build_chrome_trace(tracer)
+        args = next(
+            e for e in doc["traceEvents"] if e.get("name") == "e"
+        )["args"]
+        assert args["pair"] == [1, 2]
+        assert isinstance(args["obj"], str)
+        json.dumps(doc)  # must be serializable end to end
+
+    def test_validator_catches_bad_phase(self):
+        doc = build_chrome_trace(self._tracer())
+        doc["traceEvents"][0]["ph"] = "X"
+        assert any("phase" in p for p in validate_chrome_trace(doc))
+
+    def test_validator_catches_counter_without_args(self):
+        doc = {"traceEvents": [{"name": "x", "ph": "C", "ts": 1.0, "pid": 0}]}
+        assert any("without args" in p for p in validate_chrome_trace(doc))
+
+
+class TestStableJson:
+    def test_write_json_matches_dumps_stable(self, tmp_path):
+        obj = {"b": 2, "a": [1, {"z": 0, "y": 1}]}
+        path = tmp_path / "out.json"
+        write_json(obj, str(path))
+        assert path.read_text() == dumps_stable(obj)
+        assert path.read_text().endswith("\n")
+
+    def test_key_order_does_not_change_bytes(self):
+        assert dumps_stable({"a": 1, "b": 2}) == dumps_stable({"b": 2, "a": 1})
+
+
+class TestMetricsSummary:
+    def test_summary_shape(self):
+        reg = _populated_registry()
+        summary = metrics_summary(reg)
+        assert summary["counters"] == {"msgs": 7}
+        assert summary["histograms"]["lat"] == {
+            "count": 1, "p50": 15.0, "p99": 15.0, "max": 15
+        }
