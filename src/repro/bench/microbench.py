@@ -434,6 +434,13 @@ def load_bench(path: str) -> Dict[str, Any]:
 # faster machine is indistinguishable from a faster kernel.
 STALE_MARKER = "stale baseline"
 
+# Benchmarks whose rates are charted for information (e.g. the MODE_BFT
+# overhead point of the scale suite) but are not a regression gate:
+# their rate findings carry INFO_MARKER and CLI callers downgrade them
+# to warnings.  Schema drift on them still fails like any other.
+INFO_MARKER = "informational benchmark"
+INFORMATIONAL_BENCHMARKS = frozenset({"fattree_k4_h16_bft"})
+
 
 def check_against(
     current: Dict[str, Any],
@@ -484,10 +491,14 @@ def check_against(
             if ours_rate is None or baseline_rate <= 0:
                 continue
             if ours_rate * tolerance < baseline_rate:
+                info = (
+                    f" — {INFO_MARKER}"
+                    if name in INFORMATIONAL_BENCHMARKS else ""
+                )
                 problems.append(
                     f"{name}: {rate_name} regressed >"
                     f"{tolerance:g}x ({ours_rate:.0f} vs baseline "
-                    f"{baseline_rate:.0f})"
+                    f"{baseline_rate:.0f}){info}"
                 )
             elif ours_rate > baseline_rate * tolerance:
                 out = SUITE_OUT.get(

@@ -60,6 +60,9 @@ def bench_fat_tree(
 
     params = fat_tree_params(k, hosts_per_tor)
     n_hosts = params.n_hosts
+    name = f"fattree_k{k}_h{n_hosts}"
+    if mode != "chip":
+        name += f"_{mode}"
     sim = Simulator(seed=seed)
     topology = build_fat_tree(sim, params)
     cluster = OnePipeCluster(
@@ -102,7 +105,7 @@ def bench_fat_tree(
     beacons = sum(agent.beacons_sent for agent in cluster.agents.values())
     beacons += sum(engine.beacons_sent for engine in cluster.engines.values())
     return BenchResult(
-        f"fattree_k{k}_h{n_hosts}",
+        name,
         wall,
         {
             "n_hosts": n_hosts,
@@ -123,6 +126,11 @@ def bench_fat_tree(
 # The scaling curve: 16 -> 32 -> 64 -> 128 hosts.  k=4 and k=8 are the
 # canonical geometries; the 32/64-host points reuse them at double/half
 # rack density so the fabric (and its beacon population) grows too.
+# The trailing ``_bft`` point reruns the k=4 geometry on the
+# BFT-hardened incarnation (docs/BYZANTINE.md): it charts the overhead
+# of beacon/timestamp authentication and f+1 cross-checks against the
+# plain k=4 point, and is informational — not a regression gate (see
+# ``INFORMATIONAL_BENCHMARKS`` in :mod:`repro.bench.microbench`).
 SCALE_BENCHMARKS: Dict[str, Callable[[int, float], BenchResult]] = {
     "fattree_k4_h16": lambda seed, scale: bench_fat_tree(seed, scale, k=4),
     "fattree_k4_h32": lambda seed, scale: bench_fat_tree(
@@ -132,4 +140,7 @@ SCALE_BENCHMARKS: Dict[str, Callable[[int, float], BenchResult]] = {
         seed, scale, k=8, hosts_per_tor=2
     ),
     "fattree_k8_h128": lambda seed, scale: bench_fat_tree(seed, scale, k=8),
+    "fattree_k4_h16_bft": lambda seed, scale: bench_fat_tree(
+        seed, scale, k=4, mode="bft"
+    ),
 }

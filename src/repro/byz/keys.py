@@ -1,0 +1,78 @@
+"""Simulated message-authentication keys for the BFT incarnation.
+
+The paper's §2.1 guarantees assume fail-stop components; ``MODE_BFT``
+drops that assumption, and the first thing a Byzantine-tolerant ordering
+layer needs is *attribution*: a receiver must be able to tell whether a
+beacon, timestamp, or failure notice really originated at the component
+it claims to.  In a real deployment this is a per-component symmetric
+key provisioned by the controller at boot (switch ASICs can verify
+short MACs at line rate).  Here we simulate it:
+
+- every component (switch engine, host agent, process, controller) has
+  a key derived deterministically from its identity;
+- ``mac(key, *fields)`` is a CRC over the repr of the fields — stable
+  across processes and Python hash seeds, which the byte-identical
+  report guarantee requires, and obviously **not** cryptographic;
+- the *honest* code paths compute tags over the values they emit.  The
+  adversarial fault handlers in ``repro.chaos`` mutate values **without
+  recomputing the tag** (the adversary does not hold the victim's key),
+  which is exactly the forgery-resistance property a real MAC provides.
+
+Nothing here is secret in the Python sense — the simulation's security
+argument is a *convention*: adversary code never calls :func:`mac` with
+another component's key.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Hashable
+
+
+def mac(key: int, *fields: object) -> int:
+    """Deterministic simulated MAC over ``fields`` under ``key``.
+
+    Non-zero by construction (0 is the "unauthenticated" sentinel on
+    :class:`repro.net.packet.Packet`), so a verifier can distinguish
+    "no tag" from "tag that happens to be zero".
+    """
+    tag = zlib.crc32(repr((key,) + fields).encode("utf-8"))
+    return tag or 1
+
+
+class KeyRegistry:
+    """Per-component symmetric keys, derived from component identity.
+
+    Derivation is deterministic so two processes replaying the same
+    episode (the verify runner's ``jobs > 1`` path) agree on every tag
+    without any shared state.
+    """
+
+    def __init__(self) -> None:
+        self._keys: Dict[Hashable, int] = {}
+
+    def key_of(self, component: Hashable) -> int:
+        key = self._keys.get(component)
+        if key is None:
+            key = zlib.crc32(f"1pipe-bft-key:{component}".encode("utf-8"))
+            self._keys[component] = key
+        return key
+
+
+def get_key_registry(sim) -> KeyRegistry:
+    """The simulation-wide key registry (lazily attached to ``sim``).
+
+    One registry per :class:`repro.sim.Simulator` stands in for the
+    controller's key-provisioning step, without threading a new
+    parameter through every factory in the stack.
+    """
+    registry = getattr(sim, "_byz_key_registry", None)
+    if registry is None:
+        registry = KeyRegistry()
+        sim._byz_key_registry = registry
+    return registry
+
+
+def proc_key_id(proc_id: int) -> str:
+    """Registry identity for a process endpoint (vs. a switch/host)."""
+    return f"proc.{proc_id}"

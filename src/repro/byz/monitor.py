@@ -1,0 +1,287 @@
+"""Byzantine-aware invariant monitoring.
+
+:class:`ByzantineMonitor` extends the fail-stop
+:class:`~repro.chaos.monitor.InvariantMonitor` with checks that only
+make sense once components can *lie* rather than merely crash:
+
+- **No fabrication (delivery-time)** — a delivered payload that was
+  never sent to that receiver is fabricated or equivocated (§2.1's
+  integrity assumption, broken by ``byz_equivocate``).
+- **Lying sender attribution (final)** — a ``byz_lying_sender`` target
+  whose assigned scattering timestamps regress, and which the cluster
+  never evicted, breaches §2.1's monotone-timestamp rule undetected.
+- **Wrongful eviction (final)** — a host evicted in an episode whose
+  only faults are adversarial, without being an adversary the hardened
+  mode is *expected* to evict, was framed (``byz_forge_notice``).
+- **Containment (final, ``MODE_BFT`` only)** — every adversary the
+  schedule planted must leave a detection trail: lying/equivocating
+  hosts evicted within the configured grace, corrupt beacon engines
+  accused, forged notices rejected.
+
+Each adversarial kind is pinned to the §2.1 clause it violates via
+:data:`ADVERSARY_CLAUSES`; violation details embed the clause so a red
+campaign report names the broken guarantee, not just the symptom.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.chaos.monitor import InvariantMonitor
+from repro.onepipe.config import MODE_BFT
+
+# Adversary kind -> the §2.1 clause it breaks in un-hardened modes.
+ADVERSARY_CLAUSES = {
+    "byz_lying_sender": (
+        "§2.1 total order (O1): a sender's timestamps are monotone, so "
+        "delivery order matches timestamp order"
+    ),
+    "byz_corrupt_beacon": (
+        "§2.1 ordered delivery (O1) via the §4.2 barrier promise: an "
+        "emitted barrier never passes timestamps still in flight"
+    ),
+    "byz_equivocate": (
+        "§2.1 integrity / agreement (O3): every receiver of a "
+        "scattering sees the sender's single message"
+    ),
+    "byz_forge_notice": (
+        "§2.1 reliable completion (O6) and restricted failure atomicity "
+        "(O5): correct processes are never evicted on fabricated "
+        "failure evidence"
+    ),
+}
+
+# Legitimate kinds that can cause a justified host eviction (dead links
+# long enough for §5.2 Determine to fire).  When any of these is in the
+# schedule, eviction attribution is ambiguous and the wrongful-eviction
+# check stands down.
+_EVICTION_CAPABLE = frozenset({
+    "crash_host", "cable_flap", "switch_flap", "link_flap",
+    "burst_loss", "degrade_link", "straggler", "ctrl_partition",
+})
+
+
+class ByzantineMonitor(InvariantMonitor):
+    """An :class:`InvariantMonitor` that also knows who the adversary is.
+
+    Construct like the base monitor, then hand it the episode's
+    :class:`~repro.chaos.schedule.ChaosSchedule` via
+    :meth:`set_schedule` (the campaign builds the monitor before it
+    draws the schedule).  All base §2.1 checks run unchanged; the
+    Byzantine checks are additive.
+    """
+
+    def __init__(self, cluster, schedule=None, **kwargs) -> None:
+        self._byz_events: List = []
+        self._legit_events: List = []
+        self._all_scatterings: Dict[int, List] = {}
+        super().__init__(cluster, **kwargs)
+        self._bft = cluster.config.mode == MODE_BFT
+        if schedule is not None:
+            self.set_schedule(schedule)
+
+    def set_schedule(self, schedule) -> None:
+        self._byz_events = [
+            e for e in schedule if e.kind in ADVERSARY_CLAUSES
+        ]
+        self._legit_events = [
+            e for e in schedule if e.kind not in ADVERSARY_CLAUSES
+        ]
+
+    # ------------------------------------------------------------------
+    # Instrumentation hooks
+    # ------------------------------------------------------------------
+    def _note_send(self, src, entries, reliable, scattering) -> None:
+        super()._note_send(src, entries, reliable, scattering)
+        if scattering is not None:
+            # The base class keeps reliable scatterings only; timestamp
+            # forensics needs every scattering in send order.
+            self._all_scatterings.setdefault(src, []).append(scattering)
+
+    def _make_delivery_callback(self, receiver: int):
+        base = super()._make_delivery_callback(receiver)
+
+        def on_delivery(message) -> None:
+            base(message)
+            self._check_integrity(receiver, message)
+
+        return on_delivery
+
+    def _check_integrity(self, receiver: int, message) -> None:
+        sent = self._sent.get((message.src, receiver))
+        if sent is None:
+            return  # sent before instrumentation or via a side door
+        if message.payload not in sent:
+            self._record(
+                "no_fabrication",
+                f"receiver {receiver} delivered payload "
+                f"{message.payload!r} from {message.src} that was never "
+                f"sent to it ({ADVERSARY_CLAUSES['byz_equivocate']})",
+                receiver=receiver,
+            )
+
+    # ------------------------------------------------------------------
+    # Final checks
+    # ------------------------------------------------------------------
+    def final_check(self):
+        super().final_check()
+        self.check_lying_detected()
+        self.check_wrongful_eviction()
+        if self._bft:
+            self.check_adversary_contained()
+        return self.violations
+
+    def _target_procs(self, host_id: str) -> List[int]:
+        agent = self.cluster.agents.get(host_id)
+        return sorted(agent.endpoints) if agent is not None else []
+
+    def check_lying_detected(self) -> None:
+        """A lying-sender target whose assigned timestamps regressed and
+        which was never evicted broke monotone timestamps undetected."""
+        controller = self.cluster.controller
+        failed = set(controller.failed_procs) if controller else set()
+        for event in self._byz_events:
+            if event.kind != "byz_lying_sender":
+                continue
+            for src in self._target_procs(event.target):
+                stamps = [
+                    s.ts
+                    for s in self._all_scatterings.get(src, [])
+                    if s.ts is not None
+                ]
+                regressed = any(
+                    later < earlier
+                    for earlier, later in zip(stamps, stamps[1:])
+                )
+                if regressed and src not in failed:
+                    self._record(
+                        "lying_undetected",
+                        f"process {src} on {event.target} assigned "
+                        f"regressing timestamps and was never evicted "
+                        f"({ADVERSARY_CLAUSES['byz_lying_sender']})",
+                    )
+
+    def check_wrongful_eviction(self) -> None:
+        """In a purely adversarial episode, the only hosts that may end
+        up evicted are adversaries the hardened mode is expected to
+        evict — anything else was framed by fabricated evidence."""
+        controller = self.cluster.controller
+        if controller is None or not self._byz_events:
+            return
+        if any(e.kind in _EVICTION_CAPABLE for e in self._legit_events):
+            return  # a real fault could justify the eviction
+        expected = {
+            e.target
+            for e in self._byz_events
+            if e.kind in ("byz_lying_sender", "byz_equivocate")
+        }
+        for host_id in sorted(controller.failed_hosts):
+            if host_id in expected:
+                continue
+            self._record(
+                "wrongful_eviction",
+                f"correct host {host_id} was evicted without any real "
+                f"fault ({ADVERSARY_CLAUSES['byz_forge_notice']})",
+            )
+
+    def check_adversary_contained(self) -> None:
+        """``MODE_BFT``: every planted adversary that acted must have
+        left a detection trail (accusation, eviction, or rejection)."""
+        controller = self.cluster.controller
+        if controller is None:
+            return
+        config = self.cluster.config
+        grace_ns = (
+            config.byz_eviction_grace_intervals * config.beacon_interval_ns
+        )
+        for event in self._byz_events:
+            clause = ADVERSARY_CLAUSES[event.kind]
+            if event.kind in ("byz_lying_sender", "byz_equivocate"):
+                procs = set(self._target_procs(event.target))
+                if not procs:
+                    continue
+                # Only require eviction when a receiver or engine
+                # actually witnessed the misbehavior and accused (an
+                # idle adversary — no sends in its window — is
+                # indistinguishable from an honest process).
+                evidence = [
+                    t for (t, _a, s, _d) in controller.accusations
+                    if s in procs
+                ]
+                if not evidence:
+                    continue
+                evicted = [
+                    t for (t, p, _d) in controller.evictions if p in procs
+                ]
+                if not evicted:
+                    self._record(
+                        "adversary_undetected",
+                        f"{event.kind} on {event.target} was accused but "
+                        f"never evicted ({clause})",
+                    )
+                elif min(evicted) - min(evidence) > grace_ns:
+                    self._record(
+                        "slow_eviction",
+                        f"{event.kind} on {event.target} evicted "
+                        f"{min(evicted) - min(evidence)}ns after the "
+                        f"first accusation (grace {grace_ns}ns, {clause})",
+                    )
+            elif event.kind == "byz_corrupt_beacon":
+                rejections = sum(
+                    getattr(agent, "beacons_rejected", 0)
+                    for agent in self.cluster.agents.values()
+                ) + sum(
+                    getattr(engine, "beacons_rejected", 0)
+                    for engine in self.cluster.engines.values()
+                )
+                accused = any(
+                    s == event.target
+                    for (_t, _a, s, _d) in controller.accusations
+                )
+                if rejections and not accused:
+                    self._record(
+                        "adversary_undetected",
+                        f"corrupt beacon engine {event.target} had "
+                        f"beacons rejected but was never accused "
+                        f"({clause})",
+                    )
+            elif event.kind == "byz_forge_notice":
+                if controller.reports_rejected < 1:
+                    self._record(
+                        "adversary_undetected",
+                        f"forged dead-link notice naming {event.target} "
+                        f"was not rejected ({clause})",
+                    )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def adversary_summary(self) -> List[Dict[str, object]]:
+        """One entry per planted adversary, with the clause it attacks
+        and the cluster's response — campaign report material."""
+        controller = self.cluster.controller
+        out: List[Dict[str, object]] = []
+        for event in self._byz_events:
+            entry: Dict[str, object] = {
+                "kind": event.kind,
+                "target": event.target,
+                "clause": ADVERSARY_CLAUSES[event.kind],
+            }
+            if controller is not None:
+                procs = set(self._target_procs(event.target))
+                entry["accused"] = sorted(
+                    {
+                        str(s)
+                        for (_t, _a, s, _d) in controller.accusations
+                        if s == event.target or s in procs
+                    }
+                )
+                entry["evicted"] = sorted(
+                    {
+                        p
+                        for (_t, p, _d) in controller.evictions
+                        if p in procs
+                    }
+                )
+            out.append(entry)
+        return out

@@ -121,6 +121,7 @@ class CampaignRunner:
         faults_per_episode: int = 4,
         use_raft: bool = False,
         metrics: bool = False,
+        adversarial: bool = False,
         jobs: int = 1,
         progress=None,
     ) -> None:
@@ -133,6 +134,7 @@ class CampaignRunner:
         self.faults_per_episode = faults_per_episode
         self.use_raft = use_raft
         self.metrics = metrics
+        self.adversarial = adversarial
         self.jobs = jobs
         self.progress = progress
 
@@ -166,16 +168,26 @@ class CampaignRunner:
             topology=topology,
             replicator=replicator,
         )
-        monitor = InvariantMonitor(
-            cluster, seed=episode_seed, episode=index, mode=mode
-        )
+        if self.adversarial:
+            from repro.byz.monitor import ByzantineMonitor
+
+            monitor = ByzantineMonitor(
+                cluster, seed=episode_seed, episode=index, mode=mode
+            )
+        else:
+            monitor = InvariantMonitor(
+                cluster, seed=episode_seed, episode=index, mode=mode
+            )
         schedule = ChaosSchedule.generate(
             sim.rng(f"chaos.schedule.{index}"),
             topology,
             self.horizon_ns,
             n_faults=self.faults_per_episode,
             allow_partition=self.use_raft,
+            adversarial=self.adversarial,
         )
+        if self.adversarial:
+            monitor.set_schedule(schedule)
         injector = ChaosInjector(cluster, raft_group=raft_group)
         injector.apply(schedule)
         TrafficDriver(
@@ -248,6 +260,29 @@ class CampaignRunner:
                 "syncs_skipped": topology.clock_sync.syncs_skipped,
             },
         }
+        if self.adversarial:
+            # Only stamped when the adversarial mix is on, so default
+            # campaign reports stay byte-identical.
+            report["adversaries"] = monitor.adversary_summary()
+            report["byz"] = {
+                "accusations": (
+                    len(controller.accusations) if controller else 0
+                ),
+                "evictions": len(controller.evictions) if controller else 0,
+                "notices_rejected": (
+                    controller.reports_rejected if controller else 0
+                ),
+                "beacons_rejected": sum(
+                    getattr(agent, "beacons_rejected", 0)
+                    for agent in cluster.agents.values()
+                ) + sum(
+                    getattr(engine, "beacons_rejected", 0)
+                    for engine in cluster.engines.values()
+                ),
+                "receiver_rejections": sum(
+                    getattr(r, "byz_rejected", 0) for r in receivers
+                ),
+            }
         if self.metrics:
             report["metrics"] = metrics_summary(cluster.sim.metrics)
         return report
@@ -269,6 +304,7 @@ class CampaignRunner:
             "faults_per_episode": self.faults_per_episode,
             "use_raft": self.use_raft,
             "metrics": self.metrics,
+            "adversarial": self.adversarial,
         }
 
     # ------------------------------------------------------------------
@@ -301,6 +337,8 @@ class CampaignRunner:
             },
             "episode_reports": episode_reports,
             "total_violations": total_violations,
+            # "adversarial" is added below only when True, keeping the
+            # default report byte-identical to pre-adversarial builds.
             "violations_by_invariant": by_invariant,
             "messages_delivered": sum(
                 r["messages_delivered"] for r in episode_reports
@@ -308,6 +346,8 @@ class CampaignRunner:
             "messages_sent": sum(r["messages_sent"] for r in episode_reports),
             "ok": total_violations == 0,
         }
+        if self.adversarial:
+            campaign_report["campaign"]["adversarial"] = True
         if self.metrics:
             totals: Dict[str, int] = {}
             for report in episode_reports:

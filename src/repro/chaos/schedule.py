@@ -23,11 +23,29 @@ kind                 mechanism
 ``clock_outage``     suppress clock-sync epochs for a window
 ``clock_drift``      thermal drift excursion on one host oscillator
 ``ctrl_partition``   isolate the Raft leader of the controller group
+                     (opt-in: only drawn when ``allow_partition=True``)
 ==================== ====================================================
 
+Adversarial kinds (opt-in: only drawn when ``adversarial=True``, so the
+default mix — and every report generated from it — is unchanged; see
+docs/BYZANTINE.md for the guarantee each one breaks):
+
+===================== ===================================================
+kind                  mechanism
+===================== ===================================================
+``byz_lying_sender``  one host stamps scatterings below its own barrier
+                      (:attr:`HostAgent.byz_lie_ns`)
+``byz_corrupt_beacon`` one ToR down-engine inflates emitted beacon minima
+                      (:meth:`set_beacon_corruption`)
+``byz_equivocate``    one host sends divergent payloads to even-numbered
+                      receivers (:attr:`HostAgent.byz_equivocate`)
+``byz_forge_notice``  a forged dead-link notice names a correct host's
+                      uplink, submitted twice (forge + replay)
+===================== ===================================================
+
 Every kind either reverts automatically after ``duration_ns`` or (for
-``crash_host`` and ``clock_step``) is a permanent step the protocol must
-absorb.
+``crash_host``, ``clock_step``, and ``byz_forge_notice``) is a permanent
+step the protocol must absorb.
 """
 
 from __future__ import annotations
@@ -39,7 +57,12 @@ from repro.net.failures import FailureInjector
 
 # Default mix: (kind, weight).  Crashes are deliberately rarer than gray
 # faults — the paper already covers crash-stop; bursts, degradation, and
-# stragglers are what this harness adds.
+# stragglers are what this harness adds.  Two kinds are opt-in and carry
+# weight 0 here: ``ctrl_partition`` joins the draw only with
+# ``allow_partition=True`` (it needs a replicated controller), and the
+# ``byz_*`` adversarial kinds only with ``adversarial=True`` — keeping
+# the default-mix draws, and hence existing campaign reports,
+# byte-identical.
 DEFAULT_FAULT_WEIGHTS = (
     ("burst_loss", 3),
     ("degrade_link", 2),
@@ -53,10 +76,24 @@ DEFAULT_FAULT_WEIGHTS = (
     ("clock_drift", 1),
 )
 
+# Adversarial mix, appended to the population when ``adversarial=True``.
+# Forged notices are rarer: one permanently evicts its victim in
+# un-hardened modes, so a mix dominated by them leaves little cluster
+# to observe.
+ADVERSARIAL_FAULT_WEIGHTS = (
+    ("byz_lying_sender", 2),
+    ("byz_corrupt_beacon", 2),
+    ("byz_equivocate", 2),
+    ("byz_forge_notice", 1),
+)
+
 # At most this many of each disruptive kind per episode, so the cluster
-# keeps a correct majority to check invariants against.
+# keeps a correct majority to check invariants against.  All adversarial
+# kinds are singletons: one Byzantine component per episode keeps f=1.
 _SINGLETON_KINDS = frozenset({"switch_flap", "crash_host", "cable_flap",
-                              "ctrl_partition"})
+                              "ctrl_partition",
+                              "byz_lying_sender", "byz_corrupt_beacon",
+                              "byz_equivocate", "byz_forge_notice"})
 
 
 @dataclass(frozen=True)
@@ -104,6 +141,7 @@ class ChaosSchedule:
         n_faults: int = 4,
         weights=DEFAULT_FAULT_WEIGHTS,
         allow_partition: bool = False,
+        adversarial: bool = False,
     ) -> "ChaosSchedule":
         """Draw ``n_faults`` events from ``rng`` (a named stream).
 
@@ -134,6 +172,16 @@ class ChaosSchedule:
         kinds = list(weights)
         if allow_partition:
             kinds.append(("ctrl_partition", 1))
+        if adversarial:
+            # Appended after the opt-in partition kind so a draw with
+            # both flags off consumes exactly the same rng sequence as
+            # before either flag existed.
+            kinds.extend(ADVERSARIAL_FAULT_WEIGHTS)
+        tor_down = sorted(
+            name
+            for name in logical_switches
+            if name.startswith("tor") and name.endswith(".down")
+        )
         population = [kind for kind, _w in kinds]
         kind_weights = [w for _kind, w in kinds]
 
@@ -210,6 +258,36 @@ class ChaosSchedule:
             elif kind == "ctrl_partition":
                 duration = min(rng.randrange(100_000, 400_000), max_duration)
                 events.append(FaultEvent(at, kind, "raft-leader", duration))
+            elif kind == "byz_lying_sender":
+                # The lie must exceed the inter-send gap (~20-25us in the
+                # campaign traffic) so the victim's send timestamps
+                # actually regress across scatterings.
+                duration = min(rng.randrange(100_000, 400_000), max_duration)
+                events.append(FaultEvent(
+                    at, kind, rng.choice(hosts), duration,
+                    {"lie_ns": rng.randrange(30_000, 80_000)},
+                ))
+            elif kind == "byz_corrupt_beacon":
+                # Min-aggregation masks a corrupt minimum wherever honest
+                # inputs also feed the register, so target a ToR
+                # down-engine: the sole barrier source for the hosts
+                # below it.
+                duration = min(rng.randrange(100_000, 300_000), max_duration)
+                target = rng.choice(tor_down or logical_switches)
+                events.append(FaultEvent(
+                    at, kind, target, duration,
+                    {"inflate_ns": rng.randrange(50_000, 150_000)},
+                ))
+            elif kind == "byz_equivocate":
+                duration = min(rng.randrange(100_000, 400_000), max_duration)
+                events.append(FaultEvent(at, kind, rng.choice(hosts), duration))
+            elif kind == "byz_forge_notice":
+                # ``target`` is the *victim*: a correct host whose uplink
+                # the forged notice names dead.
+                events.append(FaultEvent(
+                    at, kind, rng.choice(hosts), 0,
+                    {"last_commit": rng.randrange(1_000, 20_000)},
+                ))
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown fault kind {kind!r}")
         return cls(events)
@@ -375,3 +453,67 @@ class ChaosInjector:
         if self.raft_group is not None:
             self.raft_group.network.heal()
             self._note("ctrl_partition.stop", "")
+
+    # ------------------------------------------------------------------
+    # Adversarial faults (docs/BYZANTINE.md)
+    # ------------------------------------------------------------------
+    def _start_byz_lying_sender(self, event: FaultEvent) -> None:
+        agent = self.cluster.agents[event.target]
+        agent.byz_lie_ns = event.params["lie_ns"]
+        self._note("byz_lying_sender.start", event.target)
+        self.sim.schedule(event.duration_ns, self._stop_byz_lying_sender,
+                          agent, event.target)
+
+    def _stop_byz_lying_sender(self, agent, host_id: str) -> None:
+        agent.byz_lie_ns = 0
+        self._note("byz_lying_sender.stop", host_id)
+
+    def _start_byz_equivocate(self, event: FaultEvent) -> None:
+        agent = self.cluster.agents[event.target]
+        agent.byz_equivocate = True
+        self._note("byz_equivocate.start", event.target)
+        self.sim.schedule(event.duration_ns, self._stop_byz_equivocate,
+                          agent, event.target)
+
+    def _stop_byz_equivocate(self, agent, host_id: str) -> None:
+        agent.byz_equivocate = False
+        self._note("byz_equivocate.stop", host_id)
+
+    def _start_byz_corrupt_beacon(self, event: FaultEvent) -> None:
+        engine = self.cluster.engines[event.target]
+        engine.set_beacon_corruption(event.params["inflate_ns"])
+        self._note("byz_corrupt_beacon.start", event.target)
+        self.sim.schedule(event.duration_ns, self._stop_byz_corrupt_beacon,
+                          engine, event.target)
+
+    def _stop_byz_corrupt_beacon(self, engine, switch_id: str) -> None:
+        engine.set_beacon_corruption(0)
+        self._note("byz_corrupt_beacon.stop", switch_id)
+
+    def _start_byz_forge_notice(self, event: FaultEvent) -> None:
+        """Submit a forged dead-link notice naming the victim host's
+        uplink with a low cut timestamp, then replay it two beacon
+        intervals later.  The forger holds no switch key, so ``auth``
+        and ``seq`` stay at their unauthenticated defaults."""
+        from repro.onepipe.failure import DeadLinkReport
+
+        controller = getattr(self.cluster, "controller", None)
+        if controller is None:
+            return
+        host = self.cluster.agents[event.target].host
+        uplink = host.uplink
+        if uplink is None:
+            return
+        report = DeadLinkReport(
+            uplink.dst.node_id, uplink, event.params["last_commit"]
+        )
+        controller.receive_external_report(report)
+        self._note("byz_forge_notice.forge", event.target)
+        self.sim.schedule(
+            2 * self.cluster.config.beacon_interval_ns,
+            self._replay_forged_notice, controller, report, event.target,
+        )
+
+    def _replay_forged_notice(self, controller, report, victim: str) -> None:
+        controller.receive_external_report(report)
+        self._note("byz_forge_notice.replay", victim)

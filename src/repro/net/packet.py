@@ -78,6 +78,7 @@ class Packet:
         "ecn",
         "sent_at",
         "meta",
+        "auth",
         "_pooled",
     )
 
@@ -116,6 +117,10 @@ class Packet:
         self.ecn = False
         self.sent_at = sent_at
         self.meta = meta
+        # Simulated MAC tag (repro.byz): 0 means unauthenticated.  Only
+        # MODE_BFT components stamp or verify it; every other mode
+        # leaves it at 0 so the fail-stop hot paths are unchanged.
+        self.auth = 0
         self._pooled = False
 
     @property
@@ -158,11 +163,13 @@ def acquire_beacon(barrier_ts: int = 0, commit_ts: int = 0) -> Packet:
         packet.barrier_ts = barrier_ts
         packet.commit_ts = commit_ts
         # Reset the only fields the beacon path dirties (host egress
-        # stamps src_host/sent_at, congested links mark ecn); msg_ts,
-        # meta, psn etc. are never touched on beacons.
+        # stamps src_host/sent_at, congested links mark ecn, BFT
+        # emitters stamp auth); msg_ts, meta, psn etc. are never
+        # touched on beacons.
         packet.src_host = ""
         packet.sent_at = 0
         packet.ecn = False
+        packet.auth = 0
         packet._pooled = True
         return packet
     packet = Packet(

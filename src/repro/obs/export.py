@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.trace import Tracer
 
 __all__ = [
+    "KNOWN_BYZ_METRICS",
     "METRICS_SCHEMA",
     "build_chrome_trace",
     "build_metrics_report",
@@ -39,6 +40,21 @@ __all__ = [
 ]
 
 METRICS_SCHEMA = "repro.obs.metrics/1"
+
+# The Byzantine-hardening counters (docs/BYZANTINE.md).  Metric names
+# are otherwise free-form, but the ``byz.`` namespace is closed: the
+# adversarial CI jobs compare reports byte-for-byte, so a typo'd name
+# would silently fork the schema.  The validator rejects unknown
+# ``byz.*`` names.
+KNOWN_BYZ_METRICS = frozenset({
+    "byz.accusations",          # controller: accusations recorded
+    "byz.beacons_rejected",     # hosts + engines: beacon auth failures
+    "byz.crosscheck_deferrals", # engines: f+1 cross-check holds
+    "byz.evictions",            # controller: procs evicted on accusation
+    "byz.notices_rejected",     # controller: forged/replayed reports
+    "byz.payload_auth_failures",  # receivers: payload MAC mismatches
+    "byz.ts_regressions_rejected",  # receivers: regressed timestamps
+})
 
 # Chrome trace-event phases we emit: instant, counter, metadata.
 _TRACE_PHASES = {"i", "C", "M"}
@@ -137,6 +153,15 @@ def validate_metrics_report(report: Any) -> List[str]:
             for name, value in counters.items():
                 if not isinstance(value, int):
                     problems.append(f"counter {name!r} value not an int")
+                if (
+                    isinstance(name, str)
+                    and name.startswith("byz.")
+                    and name not in KNOWN_BYZ_METRICS
+                ):
+                    problems.append(
+                        f"counter {name!r} not a registered byz.* metric "
+                        f"(see KNOWN_BYZ_METRICS)"
+                    )
         histograms = metrics.get("histograms")
         if isinstance(histograms, dict):
             for name, hist in histograms.items():

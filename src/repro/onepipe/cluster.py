@@ -62,6 +62,13 @@ class OnePipeCluster:
             self.engines[switch_id] = engine
             if self.controller is not None:
                 self.controller.register_engine(switch_id, engine)
+                accuse = getattr(engine, "accusation_listener", None)
+                if accuse is None and hasattr(engine, "_accuse"):
+                    # BFT engines report misbehaving peers the same way
+                    # they report dead links: through the controller.
+                    engine.accusation_listener = (
+                        self.controller.make_accusation_listener()
+                    )
 
         # A host agent on every host (beacons from every uplink).
         self.agents: Dict[str, HostAgent] = {}

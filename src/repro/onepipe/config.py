@@ -13,6 +13,16 @@ MODE_SWITCH_CPU = "switch_cpu"
 MODE_HOST_DELEGATE = "host_delegate"
 MODES = (MODE_CHIP, MODE_SWITCH_CPU, MODE_HOST_DELEGATE)
 
+# The BFT-hardened incarnation (repro.byz): chip-style ordering with
+# MAC-authenticated beacons/timestamps, cross-checked barrier register
+# updates, and an evicting accusation flow.  Deliberately NOT part of
+# ``MODES``: campaigns and verify sweeps cycle through ``MODES`` and
+# their reports must stay byte-identical when adversarial testing is
+# off, so the hardened mode only joins a sweep when explicitly
+# requested (``--adversarial`` or ``--mode bft``).
+MODE_BFT = "bft"
+ALL_MODES = MODES + (MODE_BFT,)
+
 
 @dataclass(frozen=True)
 class OnePipeConfig:
@@ -58,9 +68,23 @@ class OnePipeConfig:
     # input link rather than a partial minimum.
     cascade_settle_ns: int = 100
 
+    # --- BFT hardening (MODE_BFT only; see docs/BYZANTINE.md) -------------
+    # Number of Byzantine components the hardened incarnation tolerates.
+    # With f = 1, barrier register updates take effect only after f + 1
+    # consecutive authenticated observations agree (the register advances
+    # to the floor of the last two observations per link), bounding the
+    # damage a single lying observation can do to one beacon interval.
+    byz_f: int = 1
+    # How many beacon intervals the controller waits after an accusation
+    # before treating the eviction as settled (detection-latency bound
+    # reported by the Byzantine monitor).
+    byz_eviction_grace_intervals: int = 4
+
     def __post_init__(self) -> None:
-        if self.mode not in MODES:
-            raise ValueError(f"unknown mode {self.mode!r}, expected {MODES}")
+        if self.mode not in ALL_MODES:
+            raise ValueError(
+                f"unknown mode {self.mode!r}, expected {ALL_MODES}"
+            )
         if self.beacon_interval_ns <= 0:
             raise ValueError("beacon interval must be positive")
         if self.beacon_timeout_multiplier < 2:

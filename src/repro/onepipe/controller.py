@@ -35,8 +35,8 @@ from repro.net.packet import Packet, PacketKind
 from repro.net.rpc import Directory
 from repro.net.topology import Topology
 from repro.obs.registry import GLOBAL_METRICS
-from repro.onepipe.config import OnePipeConfig
-from repro.onepipe.failure import DeadLinkReport, determine
+from repro.onepipe.config import MODE_BFT, OnePipeConfig
+from repro.onepipe.failure import DeadLinkReport, determine, equivocal_reports
 from repro.sim import Simulator
 from repro.sim.trace import GLOBAL_TRACER
 
@@ -122,6 +122,29 @@ class Controller:
         self.undeliverable_recalls: Dict[int, List[Tuple[int, int]]] = {}
         self.recoveries: List[RecoveryRecord] = []
         self.forwarded_messages = 0
+        # --- BFT hardening (MODE_BFT only; docs/BYZANTINE.md) ----------
+        self._bft = config.mode == MODE_BFT
+        self._keys = None
+        if self._bft:
+            from repro.byz.keys import get_key_registry
+
+            self._keys = get_key_registry(sim)
+        # Per-(reporter, link) sequence numbers: next to issue on the
+        # listener side, highest accepted on the verify side.  Fresh
+        # sequence + valid MAC is what makes replayed notices inert.
+        self._report_seq_issue: Dict[Tuple[str, str], int] = {}
+        self._report_seq_seen: Dict[Tuple[str, str], int] = {}
+        self.reports_rejected = 0
+        self.equivocal_report_count = 0
+        # Accusations (time, accuser, suspect, detail) and the evictions
+        # they caused (time, proc, detail) — the Byzantine monitor reads
+        # these to bound detection latency.
+        self.accusations: List[Tuple[int, Any, Any, str]] = []
+        self.evictions: List[Tuple[int, int, str]] = []
+        self._demoted_components: Set[str] = set()
+        self._m_byz_notices = None   # registered on first rejection
+        self._m_byz_accusations = None
+        self._m_byz_evictions = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -139,19 +162,57 @@ class Controller:
         """The callback installed on every ordering engine."""
 
         def listener(switch_id: str, link: Link, last_commit: int) -> None:
+            if self._bft:
+                # The reporter authenticates its notice: MAC over the
+                # report fields plus a per-(reporter, link) sequence
+                # number, so a forged or replayed notice fails admission
+                # in _receive_report.
+                from repro.byz.keys import mac
+
+                seq_key = (switch_id, link.name)
+                seq = self._report_seq_issue.get(seq_key, 0) + 1
+                self._report_seq_issue[seq_key] = seq
+                report = DeadLinkReport(
+                    switch_id, link, last_commit,
+                    auth=mac(
+                        self._keys.key_of(switch_id), link.name,
+                        last_commit, seq,
+                    ),
+                    seq=seq,
+                )
+            else:
+                report = DeadLinkReport(switch_id, link, last_commit)
             # Detect-step report travels over the management network.
             self.sim.schedule(
-                self.config.ctrl_delay_ns,
-                self._receive_report,
-                DeadLinkReport(switch_id, link, last_commit),
+                self.config.ctrl_delay_ns, self._receive_report, report
             )
 
         return listener
+
+    def make_accusation_listener(self):
+        """Callback BFT switch engines use to accuse a misbehaving peer:
+        a beacon emitter (plain node id) or an attached sender process
+        (a ``("proc", proc_id)`` suspect)."""
+
+        def listener(accuser_id: str, suspect, detail: str) -> None:
+            if isinstance(suspect, tuple) and suspect[0] == "proc":
+                self.accuse_process(accuser_id, suspect[1], detail)
+            else:
+                self.accuse_component(accuser_id, suspect, detail)
+
+        return listener
+
+    def receive_external_report(self, report: DeadLinkReport) -> None:
+        """Entry point for reports not produced by a registered engine
+        (the chaos layer's forged-notice adversary injects here)."""
+        self.sim.schedule(self.config.ctrl_delay_ns, self._receive_report, report)
 
     # ------------------------------------------------------------------
     # Detect / Determine
     # ------------------------------------------------------------------
     def _receive_report(self, report: DeadLinkReport) -> None:
+        if self._bft and not self._admit_report(report):
+            return
         if self._episode is None:
             self._episode = RecoveryRecord(self.sim.now)
         if self._tracer.enabled:
@@ -171,10 +232,61 @@ class Controller:
             window = 2 * self.config.beacon_interval_ns
             self._batch_timer = self.sim.schedule(window, self._determine)
 
+    def _admit_report(self, report: DeadLinkReport) -> bool:
+        """MODE_BFT: drop dead-link notices that are forged (bad MAC) or
+        replayed (stale sequence number).  Honest engines stamp both in
+        :meth:`make_failure_listener`; an adversary holds no switch key,
+        so it can neither mint a fresh notice nor re-submit an old one."""
+        from repro.byz.keys import mac
+
+        expected = mac(
+            self._keys.key_of(report.reporter),
+            report.link.name,
+            report.last_commit,
+            report.seq,
+        )
+        seq_key = (report.reporter, report.link.name)
+        last_seen = self._report_seq_seen.get(seq_key, 0)
+        if report.auth != expected or report.seq <= last_seen:
+            reason = "forged" if report.auth != expected else "replayed"
+            self.reports_rejected += 1
+            if self._metrics.enabled:
+                if self._m_byz_notices is None:
+                    self._m_byz_notices = self._metrics.counter(
+                        "byz.notices_rejected"
+                    )
+                self._m_byz_notices.add()
+            if self._tracer.enabled:
+                self._tracer.trace(
+                    self.sim.now, "controller", "notice_rejected",
+                    reporter=report.reporter, link=report.link.name,
+                    reason=reason,
+                )
+            return False
+        self._report_seq_seen[seq_key] = report.seq
+        return True
+
     def _determine(self) -> None:
         self._batch_timer = None
         episode = self._episode
         episode.determine_time = self.sim.now
+        if self._bft:
+            # Cross-check the batch: two notices naming the same link
+            # with different cut timestamps means some reporter lied.
+            # determine() already takes the conservative max, so the
+            # disagreement cannot under-report — but it is evidence.
+            contested = equivocal_reports(self._reports)
+            if contested:
+                self.equivocal_report_count += len(contested)
+                if self._tracer.enabled:
+                    for link, reports in sorted(
+                        contested.items(), key=lambda kv: kv[0].name
+                    ):
+                        self._tracer.trace(
+                            self.sim.now, "controller", "equivocal_reports",
+                            link=link.name,
+                            reporters=tuple(r.reporter for r in reports),
+                        )
         host_ids = [host.node_id for host in self.topology.hosts]
         failed_hosts, host_ts = determine(
             self.topology.graph, self._reports, self._roots, host_ids
@@ -293,6 +405,142 @@ class Controller:
         )
 
     # ------------------------------------------------------------------
+    # Byzantine accusations (MODE_BFT; docs/BYZANTINE.md)
+    # ------------------------------------------------------------------
+    def accuse_process(self, accuser_proc: int, suspect_proc: int, detail: str) -> None:
+        """A receiver caught a sender misbehaving (timestamp regression,
+        bad payload MAC).  Travels over the management network."""
+        self.sim.schedule(
+            self.config.ctrl_delay_ns,
+            self._handle_proc_accusation,
+            accuser_proc,
+            suspect_proc,
+            detail,
+        )
+
+    def accuse_component(self, accuser_id: str, suspect_id: str, detail: str) -> None:
+        """A switch engine or host agent caught a beacon emitter lying
+        (bad beacon MAC)."""
+        self.sim.schedule(
+            self.config.ctrl_delay_ns,
+            self._handle_component_accusation,
+            accuser_id,
+            suspect_id,
+            detail,
+        )
+
+    def _record_accusation(self, accuser, suspect, detail: str) -> None:
+        self.accusations.append((self.sim.now, accuser, suspect, detail))
+        if self._metrics.enabled:
+            if self._m_byz_accusations is None:
+                self._m_byz_accusations = self._metrics.counter("byz.accusations")
+            self._m_byz_accusations.add()
+        if self._tracer.enabled:
+            self._tracer.trace(
+                self.sim.now, "controller", "accusation",
+                accuser=accuser, suspect=suspect, detail=detail,
+            )
+
+    def _handle_proc_accusation(
+        self, accuser_proc: int, suspect_proc: int, detail: str
+    ) -> None:
+        self._record_accusation(accuser_proc, suspect_proc, detail)
+        if suspect_proc in self.failed_procs:
+            return
+        try:
+            host_id = self.directory.host_of(suspect_proc)
+        except KeyError:
+            return
+        if host_id in self.failed_hosts:
+            return
+        agent = self.agents.get(host_id)
+        if agent is None:
+            return
+        # Evict the whole host (the paper's failure unit): every process
+        # on it is marked failed at the accusation-time clock, which is
+        # conservative — only messages the adversary stamps *after* its
+        # eviction fall above the cutoff.  The cutoff lives in the
+        # *message-timestamp* domain (host clocks read epoch + true
+        # time, modulo bounded skew), not raw simulator time: receivers
+        # compare it against egress timestamps.
+        clock_sync = getattr(self.topology, "clock_sync", None)
+        epoch_ns = clock_sync.epoch_ns if clock_sync is not None else 0
+        failure_ts = epoch_ns + self.sim.now
+        self.failed_hosts.add(host_id)
+        new_failures: List[Tuple[int, int]] = []
+        for proc_id in agent.endpoints:
+            if proc_id in self.failed_procs:
+                continue
+            self.failed_procs[proc_id] = failure_ts
+            new_failures.append((proc_id, failure_ts))
+            self.evictions.append((self.sim.now, proc_id, detail))
+        if self._metrics.enabled and new_failures:
+            if self._m_byz_evictions is None:
+                self._m_byz_evictions = self._metrics.counter("byz.evictions")
+            self._m_byz_evictions.add(len(new_failures))
+        if self._tracer.enabled:
+            self._tracer.trace(
+                self.sim.now, "controller", "eviction",
+                host=host_id, procs=tuple(p for p, _ts in new_failures),
+                detail=detail,
+            )
+        # Graceful degradation: demote the evicted host's uplinks so its
+        # (possibly lying) barrier promises stop holding back the cluster
+        # commit minimum.  demote_link parks the register as pending; the
+        # lying promise sits below the minimum forever, so it never
+        # re-promotes, and the commit barrier advances without it.
+        self._demote_component_links(host_id)
+
+        def _committed() -> None:
+            self._broadcast_eviction(new_failures)
+
+        self.replicator.propose(
+            ("accusation", host_id, tuple(new_failures)), _committed
+        )
+
+    def _handle_component_accusation(
+        self, accuser_id: str, suspect_id: str, detail: str
+    ) -> None:
+        self._record_accusation(accuser_id, suspect_id, detail)
+        if suspect_id in self._demoted_components:
+            return
+        self._demoted_components.add(suspect_id)
+        self._demote_component_links(suspect_id)
+
+    def _demote_component_links(self, node_id: str) -> None:
+        """Demote every barrier register fed by ``node_id`` in both the
+        best-effort and commit planes of every engine that holds one."""
+        for engine in self.engines.values():
+            for link in list(getattr(engine, "_last_rx", {})):
+                if link.src.node_id != node_id:
+                    continue
+                for barrier in (engine.be, engine.commit):
+                    if barrier.has_link(link):
+                        barrier.demote_link(link)
+            # The minima may have risen now that the demoted registers no
+            # longer count; relay the new floor downstream.
+            engine._maybe_cascade()
+
+    def _broadcast_eviction(self, failures: List[Tuple[int, int]]) -> None:
+        """Fan the eviction out like a §5.2 Broadcast, but on a dedicated
+        completion path: unlike _broadcast, this never calls _resume, so
+        an accusation landing mid-episode cannot prematurely resume an
+        in-flight fail-stop recovery."""
+        if not failures:
+            return
+        correct_agents = [
+            agent
+            for host_id, agent in self.agents.items()
+            if host_id not in self.failed_hosts and not agent.host.failed
+        ]
+        per_host_cost = 2_000
+        for index, agent in enumerate(correct_agents):
+            self.sim.schedule(
+                self.config.ctrl_delay_ns + index * per_host_cost,
+                lambda a=agent: a.on_proc_failures(failures),
+            )
+
+    # ------------------------------------------------------------------
     # Controller forwarding (§5.2)
     # ------------------------------------------------------------------
     def forward_message(self, sender, msg) -> None:
@@ -333,6 +581,17 @@ class Controller:
             payload=msg.payload,
             meta={"n_frags": 1},
         )
+        if self._bft:
+            # Forwarded packets are rebuilt here, so the sender's payload
+            # MAC must be re-stamped or _bft_admit would reject them.
+            # The controller is trusted and holds the key registry.
+            from repro.byz.keys import mac, proc_key_id
+
+            packet.auth = mac(
+                self._keys.key_of(proc_key_id(sender.proc_id)),
+                msg.msg_id,
+                repr(msg.payload),
+            )
         target.receiver.on_data_packet(packet)
         # ACK back to the sender via the controller.
         self.sim.schedule(

@@ -34,11 +34,21 @@ from repro.net.link import Link
 @dataclass(frozen=True)
 class DeadLinkReport:
     """A neighbor's Detect-step report: the dead link and the last commit
-    barrier its register held."""
+    barrier its register held.
+
+    ``auth`` and ``seq`` exist for the BFT-hardened incarnation only
+    (docs/BYZANTINE.md): the reporting engine stamps a simulated MAC
+    over ``(link, last_commit, seq)`` under its own key and a
+    per-reporter monotone sequence number, letting the controller
+    reject forged and replayed notices.  Fail-stop modes leave both at
+    their defaults and the controller never looks at them.
+    """
 
     reporter: str  # switch that detected the timeout
     link: Link
     last_commit: int
+    auth: int = 0
+    seq: int = 0
 
 
 def alive_digraph(graph: nx.DiGraph, dead_links: Set[Link]) -> nx.DiGraph:
@@ -96,13 +106,43 @@ def failure_timestamp(region: Set[str], reports: List[DeadLinkReport]) -> int:
     """Failure timestamp for a failed region: the maximum last-commit
     barrier over reports whose dead link originates inside the region
     (those reports form the separating cut — each reporter is a correct
-    neighbor of the failed component)."""
+    neighbor of the failed component).
+
+    Taking the max is also the safe answer to *equivocating* reports
+    (two reports naming the same link with different last-commit
+    barriers, e.g. a lying reporter): the larger barrier wins, so the
+    cutoff never regresses below what any correct reporter promised and
+    committed messages are never retroactively discarded.  Use
+    :func:`equivocal_reports` to surface the conflict itself.
+    """
     best = 0
     for report in reports:
         if report.link.src.node_id in region:
             if report.last_commit > best:
                 best = report.last_commit
     return best
+
+
+def equivocal_reports(
+    reports: List[DeadLinkReport],
+) -> Dict[Link, List[DeadLinkReport]]:
+    """Reports that disagree about a link's last-commit barrier.
+
+    Returns ``{link: conflicting_reports}`` for every link named by two
+    or more reports with *different* ``last_commit`` values.  In the
+    fail-stop model this cannot happen (registers are monotone and the
+    batch window is short); under the Byzantine model it is evidence
+    that some reporter lied, and the BFT controller counts it while
+    :func:`failure_timestamp`'s max keeps the cutoff conservative.
+    """
+    by_link: Dict[Link, List[DeadLinkReport]] = {}
+    for report in reports:
+        by_link.setdefault(report.link, []).append(report)
+    return {
+        link: group
+        for link, group in by_link.items()
+        if len({report.last_commit for report in group}) > 1
+    }
 
 
 def determine(

@@ -31,7 +31,7 @@ from repro.net.nic import Host
 from repro.net.packet import Packet, PacketKind, acquire_beacon, release_beacon
 from repro.net.rpc import Directory
 from repro.obs.registry import GLOBAL_METRICS
-from repro.onepipe.config import MODE_CHIP, OnePipeConfig
+from repro.onepipe.config import MODE_BFT, MODE_CHIP, OnePipeConfig
 from repro.sim import Future
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,8 +69,31 @@ class HostAgent:
         self.endpoints: Dict[int, "OnePipeEndpoint"] = {}
         self.rx_be_barrier = 0
         self.rx_commit_barrier = 0
-        self._barriers_on_packets = config.mode == MODE_CHIP
+        # Chip-style modes aggregate barriers on every data packet; the
+        # BFT incarnation is chip-based (per-packet stamps bounded by
+        # the authenticated beacon plane, see BftChipEngine).
+        self._barriers_on_packets = config.mode in (MODE_CHIP, MODE_BFT)
         self._flush_scheduled = False
+        # --- BFT hardening (MODE_BFT only; docs/BYZANTINE.md) ----------
+        self._bft = config.mode == MODE_BFT
+        self._host_key = 0
+        self._keys = None
+        if self._bft:
+            from repro.byz.keys import get_key_registry
+
+            self._keys = get_key_registry(self.sim)
+            self._host_key = self._keys.key_of(host.node_id)
+        self.beacons_rejected = 0
+        self._accused: set = set()
+        self._m_byz_rejected = None  # registered on first rejection
+        # --- adversarial knobs (repro.chaos byz_* faults) --------------
+        # A timestamp-lying sender stamps scattering timestamps this far
+        # below the host clock — below barriers it already promised.
+        self.byz_lie_ns = 0
+        # An equivocating host agent tampers the payload of egress data
+        # to even-numbered destinations, so different receivers of one
+        # scattering see divergent messages.
+        self.byz_equivocate = False
         # Receiver-side loss injection (the paper's Fig. 9b/15b method:
         # "we simulate random message drop in lib1pipe receiver" — this
         # drops data without perturbing beacons or link liveness).
@@ -134,13 +157,37 @@ class HostAgent:
             scattering = meta.get("scat")
             if scattering is not None:
                 if scattering.ts is None:
-                    scattering.ts = now
+                    # Byzantine knob: a lying sender stamps below its own
+                    # (already promised) barrier, violating §2.1's
+                    # non-decreasing timestamp rule.
+                    ts = now
+                    if self.byz_lie_ns:
+                        ts = max(0, now - self.byz_lie_ns)
+                    scattering.ts = ts
                     endpoint = self.endpoints.get(packet.src)
                     if endpoint is not None:
-                        endpoint.sender.on_ts_assigned(scattering, now)
+                        endpoint.sender.on_ts_assigned(scattering, ts)
                 packet.msg_ts = scattering.ts
+        if (
+            self.byz_equivocate
+            and packet.last_frag
+            and packet.payload is not None
+            and packet.dst >= 0
+            and packet.dst % 2 == 0
+            and packet.kind in (PacketKind.DATA, PacketKind.RDATA)
+        ):
+            # Equivocation: even-numbered receivers get a divergent copy.
+            # The sender's payload MAC (stamped in _transmit) is NOT
+            # recomputed — the agent does not hold the process key.
+            packet.payload = ("equivocated", packet.payload)
         packet.barrier_ts = self.local_be_barrier(now)
         packet.commit_ts = self.local_commit_barrier(now)
+        if self._bft and packet.kind == PacketKind.BEACON:
+            from repro.byz.keys import mac
+
+            packet.auth = mac(
+                self._host_key, packet.barrier_ts, packet.commit_ts
+            )
 
     def local_be_barrier(self, now: int) -> int:
         """Best-effort barrier promise: the clock, floored at fragments
@@ -178,6 +225,9 @@ class HostAgent:
                     self._m_rx_drops.add()
                 release_beacon(packet)
                 return True
+            if self._bft and not self._verify_beacon(packet, _in_link):
+                release_beacon(packet)
+                return True
             if self._metrics.enabled:
                 self._m_beacon_hop.observe(self.sim.now - packet.sent_at)
             self._update_barriers(packet.barrier_ts, packet.commit_ts)
@@ -206,6 +256,55 @@ class HostAgent:
         if self._barriers_on_packets:
             self._update_barriers(packet.barrier_ts, packet.commit_ts)
         return False  # RAW and RDMA traffic continues to normal delivery
+
+    # ------------------------------------------------------------------
+    # BFT hardening (MODE_BFT; docs/BYZANTINE.md)
+    # ------------------------------------------------------------------
+    def _verify_beacon(self, packet: Packet, in_link: Link) -> bool:
+        """Check a downlink beacon's simulated MAC against its emitter.
+
+        An invalid tag means the emitting switch lied about (or could
+        not authenticate) its barrier minima; the beacon is dropped —
+        the receive floor simply does not advance — and the emitter is
+        accused to the controller, which demotes its links via the
+        §4.2 pending path instead of wedging anything.
+        """
+        from repro.byz.keys import mac
+
+        emitter = in_link.src.node_id
+        expected = mac(
+            self._keys.key_of(emitter), packet.barrier_ts, packet.commit_ts
+        )
+        if packet.auth == expected:
+            return True
+        self.beacons_rejected += 1
+        if self._metrics.enabled:
+            if self._m_byz_rejected is None:
+                self._m_byz_rejected = self._metrics.counter(
+                    "byz.beacons_rejected"
+                )
+            self._m_byz_rejected.add()
+        if emitter not in self._accused and self.controller is not None:
+            self._accused.add(emitter)
+            self.controller.accuse_component(
+                self.host.node_id,
+                emitter,
+                f"beacon auth failure at host ingress "
+                f"(be={packet.barrier_ts} commit={packet.commit_ts})",
+            )
+        return False
+
+    def accuse_sender(
+        self, accuser_proc: int, suspect_proc: int, detail: str
+    ) -> None:
+        """Receiver-side accusation relay (timestamp regression or
+        payload auth failure): forward the evidence to the controller
+        for eviction.  One accusation per suspect per host."""
+        key = ("proc", suspect_proc)
+        if key in self._accused or self.controller is None:
+            return
+        self._accused.add(key)
+        self.controller.accuse_process(accuser_proc, suspect_proc, detail)
 
     def _update_barriers(self, be_barrier: int, commit_barrier: int) -> None:
         changed = False

@@ -24,7 +24,7 @@ failure handling (§5.2).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.net.link import Link
 from repro.net.packet import Packet, PacketKind, acquire_beacon, release_beacon
@@ -32,6 +32,7 @@ from repro.net.switch import Switch
 from repro.obs.registry import GLOBAL_METRICS
 from repro.onepipe.barrier import BarrierRegisterFile
 from repro.onepipe.config import (
+    MODE_BFT,
     MODE_CHIP,
     MODE_HOST_DELEGATE,
     MODE_SWITCH_CPU,
@@ -84,6 +85,12 @@ class _OrderingEngineBase:
         # Gray-failure straggler knob: >1.0 slows this switch's beacon
         # processing (CPU incarnations) or forwarding pipeline (chip).
         self.straggle_factor = 1.0
+        # Byzantine knob (repro.chaos byz_corrupt_beacon): a non-zero
+        # offset is added to the barrier minima of every *emitted*
+        # beacon — the switch-resident state lies to its neighbors.
+        # The register files themselves stay honest, so the corruption
+        # is exactly a wire-level lie, not a local state corruption.
+        self.beacon_corruption_ns = 0
 
     # ------------------------------------------------------------------
     def attach(self, switch: Switch) -> None:
@@ -139,6 +146,16 @@ class _OrderingEngineBase:
         """Chip incarnation: ordering happens in the pipeline itself."""
         if self.switch is not None:
             self.switch.set_straggler(self.straggle_factor)
+
+    def set_beacon_corruption(self, offset_ns: int) -> None:
+        """Inflate (positive) or deflate (negative) emitted beacon minima.
+
+        Models a compromised or corrupted switch ordering engine
+        (docs/BYZANTINE.md): inflation advances downstream barriers past
+        timestamps still in flight (breaking the barrier promise);
+        deflation stalls downstream delivery.  0 restores honesty.
+        """
+        self.beacon_corruption_ns = int(offset_ns)
 
     # ------------------------------------------------------------------
     # Liveness (§4.2) and failure-handling hooks (§5.2)
@@ -229,6 +246,16 @@ class _OrderingEngineBase:
         switch = self.switch
         if switch is None or switch.failed:
             return
+        # BFT emitters tag the beacon over the honest minima *before*
+        # any corruption is applied: a corrupting engine cannot produce
+        # a valid tag for values it lied about (it signs what its
+        # registers actually say), which is what lets hardened
+        # neighbors reject the lie.  0 in every other mode.
+        auth = self._beacon_auth(be_min, commit_min)
+        corrupt = self.beacon_corruption_ns
+        if corrupt:
+            be_min = max(0, be_min + corrupt)
+            commit_min = max(0, commit_min + corrupt)
         now = self.sim.now
         for link in out_links:
             beacon = acquire_beacon(be_min, commit_min)
@@ -236,7 +263,13 @@ class _OrderingEngineBase:
             # host-emitted packets get sent_at; stamp here so per-hop
             # beacon-latency histograms see the true emission time.
             beacon.sent_at = now
+            if auth:
+                beacon.auth = auth
             link.send(beacon)
+
+    def _beacon_auth(self, be_min: int, commit_min: int) -> int:
+        """Simulated MAC for emitted beacons; 0 outside MODE_BFT."""
+        return 0
 
     def _links_needing_beacons(self, now: int) -> list:
         """Output links that need an explicit barrier beacon right now."""
@@ -472,6 +505,179 @@ class HostDelegationEngine(SwitchCpuEngine):
         )
 
 
+class BftChipEngine(ProgrammableChipEngine):
+    """BFT-hardened chip incarnation (``MODE_BFT``, docs/BYZANTINE.md).
+
+    The fail-stop chip engine trusts every beacon; this one does not:
+
+    - **Authentication** — every emitted beacon carries a simulated MAC
+      over ``(be_min, commit_min)`` under the emitter's key
+      (:mod:`repro.byz.keys`).  Ingress beacons whose tag does not
+      verify against the upstream neighbor's key are dropped *before*
+      they refresh liveness or touch a register, and the emitter is
+      accused to the controller.  A beacon-corrupting switch therefore
+      starves its own links (they look silent downstream) instead of
+      poisoning the barrier plane, and the standard §4.2/§5.2 liveness
+      machinery degrades around it.
+    - **f+1 cross-check** — an authenticated beacon observation only
+      advances a register to the floor of the last ``byz_f + 1``
+      observations on that link, so one lying (but validly signed)
+      observation can move the minimum by at most one beacon interval.
+    - **Graceful degradation** — accusations demote the suspect's links
+      to pending via :meth:`BarrierRegisterFile.demote_link` (through
+      the controller), never wedging the commit barrier.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: OnePipeConfig,
+        failure_listener: Optional[FailureListener] = None,
+    ) -> None:
+        super().__init__(sim, config, failure_listener)
+        from repro.byz.keys import get_key_registry
+
+        self._keys = get_key_registry(sim)
+        self._my_key = 0  # derived at attach (needs the switch identity)
+        # accusation_listener(accuser_id, suspect_id, detail) — wired by
+        # the cluster when a controller is present.
+        self.accusation_listener = None
+        # Per-link window of recent authenticated observations
+        # (be, commit); a register only advances to the window minimum.
+        self._observed: Dict[Link, list] = {}
+        self._accused: set = set()
+        # Per-sender (max msg_ts, msg_id at max) over data packets from
+        # directly attached hosts: a ToR up-engine sees every egress
+        # packet of its hosts in send order, so a timestamp that
+        # regresses against a higher msg_id is proof of a lying sender —
+        # even when its scatterings go to disjoint receivers whose local
+        # high-waters never witness the regression.
+        self._send_high: Dict[int, Tuple[int, int]] = {}
+        self.beacons_rejected = 0
+        # Registered lazily (first rejection/deferral) so fail-stop
+        # metrics snapshots never grow new zero-valued counters and
+        # existing observe reports stay byte-identical.
+        self._m_byz_rejected = None
+        self._m_byz_deferrals = None
+
+    def attach(self, switch: Switch) -> None:
+        super().attach(switch)
+        self._my_key = self._keys.key_of(switch.node_id)
+
+    def _beacon_auth(self, be_min: int, commit_min: int) -> int:
+        from repro.byz.keys import mac
+
+        return mac(self._my_key, be_min, commit_min)
+
+    # ------------------------------------------------------------------
+    def _accuse(self, suspect: str, detail: str) -> None:
+        if suspect in self._accused:
+            return
+        self._accused.add(suspect)
+        listener = self.accusation_listener
+        if listener is not None:
+            listener(self.switch.node_id, suspect, detail)
+
+    def _staged_minima(self, in_link: Link, be: int, commit: int):
+        """Fold an observation into the link's cross-check window and
+        return the (be, commit) values the registers may adopt now."""
+        window = self._observed.get(in_link)
+        if window is None:
+            self._observed[in_link] = window = []
+        window.append((be, commit))
+        depth = self.config.byz_f + 1
+        if len(window) > depth:
+            del window[0]
+        if len(window) < depth:
+            return 0, 0  # not yet confirmed by f+1 observations
+        staged_be = min(entry[0] for entry in window)
+        staged_commit = min(entry[1] for entry in window)
+        if staged_be < be or staged_commit < commit:
+            if self._metrics.enabled:
+                if self._m_byz_deferrals is None:
+                    self._m_byz_deferrals = self._metrics.counter(
+                        "byz.crosscheck_deferrals"
+                    )
+                self._m_byz_deferrals.add()
+        return staged_be, staged_commit
+
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: Packet, in_link: Link) -> bool:
+        if self.switch.failed:
+            return False
+        if packet.kind == PacketKind.BEACON:
+            from repro.byz.keys import mac
+
+            emitter = in_link.src.node_id
+            expected = mac(
+                self._keys.key_of(emitter),
+                packet.barrier_ts,
+                packet.commit_ts,
+            )
+            if packet.auth != expected:
+                # Forged or corrupted: drop before liveness/register
+                # bookkeeping (the link looks silent) and accuse once.
+                self.beacons_rejected += 1
+                if self._metrics.enabled:
+                    if self._m_byz_rejected is None:
+                        self._m_byz_rejected = self._metrics.counter(
+                            "byz.beacons_rejected"
+                        )
+                    self._m_byz_rejected.add()
+                self._accuse(
+                    emitter,
+                    f"beacon auth failure on {in_link.name} "
+                    f"(be={packet.barrier_ts} commit={packet.commit_ts})",
+                )
+                release_beacon(packet)
+                return False
+            self._last_rx[in_link] = self.sim.now
+            if self._dead and in_link in self._dead:
+                self.rejoin_link(in_link)
+            if self._metrics.enabled:
+                self._m_beacon_hop.observe(self.sim.now - packet.sent_at)
+            staged_be, staged_commit = self._staged_minima(
+                in_link, packet.barrier_ts, packet.commit_ts
+            )
+            release_beacon(packet)
+            be = self.be
+            commit = self.commit
+            if be.has_link(in_link):
+                be.update(in_link, staged_be)
+            if commit.has_link(in_link):
+                commit.update(in_link, staged_commit)
+            be_min = be.minimum()
+            commit_min = commit.minimum()
+            if not self._cascade_pending and (
+                be_min > self._emitted_be or commit_min > self._emitted_commit
+            ):
+                self._cascade_pending = True
+                self.sim.post(
+                    self.config.cascade_settle_ns, self._cascade_fire
+                )
+            return False
+        # Data path: identical to the chip incarnation.  Data barrier
+        # stamps are bounded by the beacon plane (each hop's registers
+        # only advance through authenticated, cross-checked beacons or
+        # the hop's own aggregation), so no per-packet MAC is needed
+        # here — the hot path stays at chip speed.
+        if packet.last_frag and getattr(in_link.src, "uplink", None) is not None:
+            high = self._send_high.get(packet.src)
+            if (
+                high is not None
+                and packet.msg_id > high[1]
+                and packet.msg_ts < high[0]
+            ):
+                self._accuse(
+                    ("proc", packet.src),
+                    f"egress timestamp regression: msg {packet.msg_id} "
+                    f"ts={packet.msg_ts} after msg {high[1]} ts={high[0]}",
+                )
+            elif high is None or packet.msg_ts > high[0]:
+                self._send_high[packet.src] = (packet.msg_ts, packet.msg_id)
+        return super().on_packet(packet, in_link)
+
+
 def make_engine(
     sim: Simulator,
     config: OnePipeConfig,
@@ -484,4 +690,6 @@ def make_engine(
         return SwitchCpuEngine(sim, config, failure_listener)
     if config.mode == MODE_HOST_DELEGATE:
         return HostDelegationEngine(sim, config, failure_listener)
+    if config.mode == MODE_BFT:
+        return BftChipEngine(sim, config, failure_listener)
     raise ValueError(f"unknown mode {config.mode!r}")

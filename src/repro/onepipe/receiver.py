@@ -32,7 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.packet import Packet, PacketKind
 from repro.obs.registry import GLOBAL_METRICS
-from repro.onepipe.config import OnePipeConfig
+from repro.onepipe.config import MODE_BFT, OnePipeConfig
 from repro.sim.trace import GLOBAL_TRACER
 
 # Delivered-message callback: fn(ts, src, payload, reliable) -> None.
@@ -102,6 +102,16 @@ class ProcessReceiver:
         self.max_buffer_bytes = 0
         self.discarded_on_failure = 0
         self.last_delivered_ts = -1
+        # --- BFT hardening (MODE_BFT only; docs/BYZANTINE.md) ----------
+        self._bft = config.mode == MODE_BFT
+        # Per-sender high-water mark (max_ts, msg_id_at_max): a newer
+        # msg_id carrying a *smaller* timestamp proves the sender
+        # stamped below a barrier it already promised (§2.1 timestamps
+        # are non-decreasing in send order on FIFO paths).
+        self._ts_high: Dict[int, Tuple[int, int]] = {}
+        self.byz_rejected = 0
+        self._m_byz_ts_reject = None      # registered on first rejection
+        self._m_byz_auth_reject = None
 
     # ------------------------------------------------------------------
     # Ingress
@@ -114,6 +124,8 @@ class ProcessReceiver:
         cutoff = self._fail_cutoff.get(packet.src)
         if cutoff is not None and packet.msg_ts >= cutoff:
             return  # sender failed before committing this timestamp
+        if self._bft and not self._bft_admit(packet):
+            return
         delivered = self._delivered_ids.get(packet.src)
         if (delivered is not None and packet.msg_id in delivered) or (
             key in self._buffered
@@ -142,6 +154,66 @@ class ProcessReceiver:
             return
         del self._assembling[key]
         self._on_message(packet, entry, key)
+
+    def _bft_admit(self, packet: Packet) -> bool:
+        """MODE_BFT ingress checks: timestamp regression and payload MAC.
+
+        Rejections NAK the packet (so a correct-but-confused sender
+        fails fast instead of retransmitting forever) and accuse the
+        sender through the host agent; the controller evicts it via the
+        standard Discard/Recall flow (docs/BYZANTINE.md).
+        """
+        src = packet.src
+        high = self._ts_high.get(src)
+        if (
+            high is not None
+            and packet.msg_id > high[1]
+            and packet.msg_ts < high[0]
+        ):
+            self._bft_reject(
+                packet, "ts_regression",
+                f"msg_id={packet.msg_id} ts={packet.msg_ts} below "
+                f"high-water ts={high[0]} (msg_id={high[1]})",
+            )
+            if self._metrics.enabled:
+                if self._m_byz_ts_reject is None:
+                    self._m_byz_ts_reject = self._metrics.counter(
+                        "byz.ts_regressions_rejected"
+                    )
+                self._m_byz_ts_reject.add()
+            return False
+        if packet.last_frag:
+            from repro.byz.keys import get_key_registry, mac, proc_key_id
+
+            key = get_key_registry(self.sim).key_of(proc_key_id(src))
+            if packet.auth != mac(key, packet.msg_id, repr(packet.payload)):
+                self._bft_reject(
+                    packet, "payload_auth",
+                    f"msg_id={packet.msg_id} payload MAC invalid",
+                )
+                if self._metrics.enabled:
+                    if self._m_byz_auth_reject is None:
+                        self._m_byz_auth_reject = self._metrics.counter(
+                            "byz.payload_auth_failures"
+                        )
+                    self._m_byz_auth_reject.add()
+                return False
+        if high is None or packet.msg_ts > high[0]:
+            self._ts_high[src] = (packet.msg_ts, packet.msg_id)
+        return True
+
+    def _bft_reject(self, packet: Packet, reason: str, detail: str) -> None:
+        self.byz_rejected += 1
+        if self._tracer.enabled:
+            self._tracer.trace(
+                self.sim.now, self._trace_id, "byz_reject",
+                reason=reason, src=packet.src, msg_id=packet.msg_id,
+                ts=packet.msg_ts,
+            )
+        self._send_nak(packet)
+        self.agent.accuse_sender(
+            self.proc_id, packet.src, f"{reason}: {detail}"
+        )
 
     def _on_message(
         self, packet: Packet, entry: _Assembling, key: Tuple[int, int]

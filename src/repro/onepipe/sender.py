@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence,
 from repro.net.packet import Packet, PacketKind, fragment_sizes
 from repro.net.transport import SendWindow
 from repro.obs.registry import GLOBAL_METRICS
-from repro.onepipe.config import OnePipeConfig
+from repro.onepipe.config import MODE_BFT, OnePipeConfig
 from repro.sim import Future
 from repro.sim.trace import GLOBAL_TRACER
 
@@ -159,6 +159,16 @@ class ProcessSender:
         self.messages_sent = 0
         self.retransmissions = 0
         self.send_failures = 0
+        # MODE_BFT: the process key used to MAC the payload of every
+        # final fragment (docs/BYZANTINE.md); receivers verify, so a
+        # host agent tampering with egress data cannot go undetected.
+        self._bft_key = 0
+        if config.mode == MODE_BFT:
+            from repro.byz.keys import get_key_registry, proc_key_id
+
+            self._bft_key = get_key_registry(self.sim).key_of(
+                proc_key_id(proc_id)
+            )
 
     # ------------------------------------------------------------------
     # Public API
@@ -332,6 +342,10 @@ class ProcessSender:
                 payload=msg.payload if last else None,
                 meta={"scat": msg.scattering, "n_frags": len(sizes)},
             )
+            if last and self._bft_key:
+                from repro.byz.keys import mac
+
+                packet.auth = mac(self._bft_key, msg.msg_id, repr(msg.payload))
             if cpu:
                 start = max(self.sim.now, self._cpu_free_at)
                 self._cpu_free_at = start + cpu

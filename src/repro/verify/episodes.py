@@ -168,6 +168,7 @@ def generate_episode(
     senders_per_round: int = 3,
     max_fanout: int = 3,
     start_ns: int = 60_000,
+    adversarial: bool = False,
 ) -> EpisodeSpec:
     """Draw a deterministic random episode from the seed's named streams."""
     streams = RngStreams(seed)
@@ -181,7 +182,8 @@ def generate_episode(
     faults: Tuple[FaultEvent, ...] = ()
     if n_faults > 0:
         schedule = ChaosSchedule.generate(
-            fault_rng, topology, horizon_ns, n_faults=n_faults
+            fault_rng, topology, horizon_ns, n_faults=n_faults,
+            adversarial=adversarial,
         )
         faults = tuple(schedule.events)
 
@@ -389,6 +391,10 @@ def _extract_observation(
         endpoint = cluster.endpoint(index)
         if endpoint.agent.host.failed or endpoint.closed:
             failed.add(endpoint.proc_id)
+    proc_hosts = {
+        index: cluster.endpoint(index).agent.host.node_id
+        for index in range(cluster.n_processes)
+    }
     return EpisodeObservation(
         sends=sends,
         completions=completions,
@@ -396,4 +402,5 @@ def _extract_observation(
         failed_procs=failed,
         deliveries=deliveries,
         cutoff_notices=cutoff_notices,
+        proc_hosts=proc_hosts,
     )

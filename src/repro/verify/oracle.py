@@ -91,6 +91,9 @@ class EpisodeObservation:
     cutoff_notices: Dict[int, List[Tuple[int, int, int]]] = field(
         default_factory=dict
     )
+    # proc -> host id placement, used by the attack-mode checks to map a
+    # targeted host to the processes an adversary can frame or corrupt.
+    proc_hosts: Dict[int, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -122,14 +125,57 @@ class Divergence:
         }
 
 
-class ReferenceOracle:
-    """Compute the legal outcome of an episode and diff the actual one."""
+@dataclass
+class AttackInfo:
+    """What the episode's schedule planted, for attack-mode checking.
 
-    def __init__(self, observation: EpisodeObservation) -> None:
+    ``adversaries`` is ``[(kind, target), ...]`` over the ``byz_*``
+    fault kinds; ``eviction_capable_faults`` is True when the schedule
+    also contains legitimate faults that could justify an eviction
+    (a real crash, a cable cut, ...), in which case the
+    wrongful-eviction check stands down.
+    """
+
+    adversaries: List[Tuple[str, str]] = field(default_factory=list)
+    eviction_capable_faults: bool = False
+
+    def targets(self, kind: str) -> List[str]:
+        return [t for k, t in self.adversaries if k == kind]
+
+
+class ReferenceOracle:
+    """Compute the legal outcome of an episode and diff the actual one.
+
+    With ``attack`` set (an :class:`AttackInfo`), the check additionally
+    runs attack-mode rules that pin each planted adversary to the §2.1
+    clause it violates (see :data:`repro.byz.monitor.ADVERSARY_CLAUSES`)
+    — e.g. a lying sender whose timestamps regress and who was never
+    evicted, or a correct host framed by a forged failure notice.
+    Without ``attack`` the behavior is unchanged.
+    """
+
+    def __init__(
+        self,
+        observation: EpisodeObservation,
+        attack: Optional[AttackInfo] = None,
+    ) -> None:
         self.obs = observation
+        self.attack = attack
         self._by_id: Dict[int, SentMessage] = {
             sent.msg_id: sent for sent in observation.sends
         }
+        self._adversary_procs: Set[int] = set()
+        if attack is not None:
+            adversary_hosts = {
+                t
+                for k, t in attack.adversaries
+                if k in ("byz_lying_sender", "byz_equivocate")
+            }
+            self._adversary_procs = {
+                proc
+                for proc, host in observation.proc_hosts.items()
+                if host in adversary_hosts
+            }
 
     # ------------------------------------------------------------------
     # The oracle's own answers
@@ -170,6 +216,8 @@ class ReferenceOracle:
         for receiver in sorted(self.obs.deliveries):
             out.extend(self._check_trace(receiver))
         out.extend(self._check_reliable_completion())
+        if self.attack is not None:
+            out.extend(self._check_attacks(out))
         return out
 
     def _check_trace(self, receiver: int) -> List[Divergence]:
@@ -193,13 +241,35 @@ class ReferenceOracle:
                 or sent.payload != delivery.payload
                 or sent.ts != delivery.ts
             ):
-                out.append(Divergence(
-                    "fabrication",
-                    f"receiver {receiver} delivered msg_id={delivery.msg_id} "
-                    f"(ts={delivery.ts}, src={delivery.src}) that does not "
-                    f"match any send",
-                    receiver=receiver, index=index,
-                ))
+                if (
+                    sent is not None
+                    and sent.dst == receiver
+                    and sent.src == delivery.src
+                    and sent.payload != delivery.payload
+                    and delivery.src in self._adversary_procs
+                ):
+                    # Attack mode: a payload that diverges from the one
+                    # the adversary's process actually handed down is an
+                    # equivocation, not a stack bug.
+                    out.append(Divergence(
+                        "equivocation",
+                        f"receiver {receiver} delivered payload "
+                        f"{delivery.payload!r} for msg_id="
+                        f"{delivery.msg_id} but process {delivery.src} "
+                        f"sent {sent.payload!r} — §2.1 integrity (O3): "
+                        f"every receiver of a scattering sees the "
+                        f"sender's single message",
+                        receiver=receiver, index=index,
+                    ))
+                else:
+                    out.append(Divergence(
+                        "fabrication",
+                        f"receiver {receiver} delivered "
+                        f"msg_id={delivery.msg_id} "
+                        f"(ts={delivery.ts}, src={delivery.src}) that does "
+                        f"not match any send",
+                        receiver=receiver, index=index,
+                    ))
                 continue
             if delivery.msg_id in seen:
                 out.append(Divergence(
@@ -250,6 +320,100 @@ class ReferenceOracle:
                     receiver=receiver, index=position,
                 ))
                 break  # later positions are all shifted; report the first
+        return out
+
+    # ------------------------------------------------------------------
+    # Attack-mode checks (docs/BYZANTINE.md)
+    # ------------------------------------------------------------------
+    def _check_attacks(self, trace_divergences: List[Divergence]) -> List[Divergence]:
+        attack = self.attack
+        out: List[Divergence] = []
+
+        # byz_lying_sender -> §2.1 O1 (monotone timestamps).  A lying
+        # process whose assigned timestamps regress across its send
+        # sequence, and which the cluster never evicted, broke total
+        # order undetected.  A hardened run evicts it, which puts it in
+        # failed_procs and satisfies this check.
+        lying_hosts = set(attack.targets("byz_lying_sender"))
+        if lying_hosts:
+            by_src: Dict[int, List[SentMessage]] = {}
+            for sent in self.obs.sends:
+                if self.obs.proc_hosts.get(sent.src) in lying_hosts:
+                    by_src.setdefault(sent.src, []).append(sent)
+            for src, sends in sorted(by_src.items()):
+                stamps = [
+                    s.ts
+                    for s in sorted(sends, key=lambda s: s.scattering)
+                    if s.ts is not None
+                ]
+                regressed = any(
+                    later < earlier
+                    for earlier, later in zip(stamps, stamps[1:])
+                )
+                if regressed and src not in self.obs.failed_procs:
+                    out.append(Divergence(
+                        "lying_sender",
+                        f"process {src} assigned regressing timestamps "
+                        f"and was never evicted — §2.1 total order (O1): "
+                        f"a sender's timestamps are monotone, so "
+                        f"delivery order matches timestamp order",
+                    ))
+
+        # byz_corrupt_beacon -> §4.2 barrier promise.  An inflated
+        # barrier makes receivers treat honest in-flight messages as
+        # late arrivals and NAK them, so the breach usually surfaces as
+        # reliable scatterings aborted with *no* legitimate fault in the
+        # episode (denial of delivery); occasionally it surfaces as an
+        # outright order divergence.  Pin both to the clause.
+        if attack.targets("byz_corrupt_beacon"):
+            for divergence in trace_divergences:
+                if divergence.kind == "order":
+                    divergence.extra["clause"] = (
+                        "§2.1 ordered delivery (O1) via the §4.2 barrier "
+                        "promise: an emitted barrier never passes "
+                        "timestamps still in flight"
+                    )
+            if not attack.eviction_capable_faults:
+                denied = sorted({
+                    sent.scattering
+                    for sent in self.obs.sends
+                    if sent.reliable
+                    and sent.ts is not None
+                    and sent.src not in self.obs.failed_procs
+                    and sent.src not in self._adversary_procs
+                    and sent.dst not in self.obs.failed_procs
+                    and self.obs.completions.get(sent.scattering) is not True
+                })
+                if denied:
+                    out.append(Divergence(
+                        "denied_completion",
+                        f"{len(denied)} reliable scatterings between "
+                        f"correct processes aborted under a corrupted "
+                        f"barrier with no legitimate fault present "
+                        f"(first: #{denied[0]}) — §2.1 reliable "
+                        f"completion (O6) via the §4.2 barrier promise: "
+                        f"an emitted barrier never passes timestamps "
+                        f"still in flight, so honest messages are never "
+                        f"rejected as late",
+                        extra={"scatterings": denied},
+                    ))
+
+        # byz_forge_notice -> §2.1 O5/O6.  The forged notice names a
+        # correct host; if its processes ended up evicted although no
+        # legitimate fault could have killed them, they were framed.
+        framed_hosts = set(attack.targets("byz_forge_notice"))
+        if framed_hosts and not attack.eviction_capable_faults:
+            for proc in sorted(self.obs.failed_procs):
+                host = self.obs.proc_hosts.get(proc)
+                if host in framed_hosts:
+                    out.append(Divergence(
+                        "wrongful_eviction",
+                        f"correct process {proc} on {host} was evicted "
+                        f"on fabricated failure evidence — §2.1 reliable "
+                        f"completion (O6) and restricted failure "
+                        f"atomicity (O5): correct processes are never "
+                        f"evicted on fabricated failure evidence",
+                    ))
         return out
 
     def _check_reliable_completion(self) -> List[Divergence]:

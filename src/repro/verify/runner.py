@@ -23,7 +23,7 @@ from repro.verify.episodes import (
     generate_episode,
     replay_episode,
 )
-from repro.verify.oracle import Divergence, ReferenceOracle
+from repro.verify.oracle import AttackInfo, Divergence, ReferenceOracle
 from repro.verify.shrink import shrink_episode
 
 # Same convention as the chaos campaign: episode seeds are far apart so
@@ -35,6 +35,29 @@ def episode_seed(seed: int, episode: int) -> int:
     return seed * EPISODE_SEED_STRIDE + episode
 
 
+def attack_info(spec: EpisodeSpec) -> Optional[AttackInfo]:
+    """Derive the oracle's attack-mode input from a spec's fault list.
+
+    Returns None for specs without adversarial (``byz_*``) faults, so
+    plain episodes check exactly as before this mode existed.
+    """
+    from repro.byz.monitor import ADVERSARY_CLAUSES, _EVICTION_CAPABLE
+
+    adversaries = [
+        (event.kind, event.target)
+        for event in spec.faults
+        if event.kind in ADVERSARY_CLAUSES
+    ]
+    if not adversaries:
+        return None
+    return AttackInfo(
+        adversaries=adversaries,
+        eviction_capable_faults=any(
+            event.kind in _EVICTION_CAPABLE for event in spec.faults
+        ),
+    )
+
+
 def check_episode(
     spec: EpisodeSpec,
     mutate: Optional[Callable[..., None]] = None,
@@ -42,11 +65,13 @@ def check_episode(
 ) -> Tuple[EpisodeRun, List[Divergence]]:
     """Replay ``spec`` and diff its traces against the oracle.
 
-    Every divergence is stamped with the spec's replay coordinates so a
-    report line alone is enough to reproduce it.
+    Specs carrying adversarial faults automatically get the oracle's
+    attack-mode checks — replaying a committed breach reproducer needs
+    no extra flags.  Every divergence is stamped with the spec's replay
+    coordinates so a report line alone is enough to reproduce it.
     """
     run = replay_episode(spec, mutate=mutate, metrics=metrics)
-    divergences = ReferenceOracle(run.observation).check()
+    divergences = ReferenceOracle(run.observation, attack=attack_info(spec)).check()
     for divergence in divergences:
         divergence.seed = spec.seed
         divergence.episode = spec.episode
@@ -72,6 +97,7 @@ def _check_one(
         mode=mode,
         scale=knobs["scale"],
         n_faults=knobs["n_faults"],
+        adversarial=knobs.get("adversarial", False),
     )
     try:
         run, divergences = check_episode(
@@ -122,6 +148,7 @@ class VerifyRunner:
         max_shrink_replays: int = 60,
         mutate: Optional[Callable[..., None]] = None,
         metrics: bool = False,
+        adversarial: bool = False,
         jobs: int = 1,
         progress: Optional[Callable[[str], None]] = None,
     ) -> None:
@@ -131,6 +158,7 @@ class VerifyRunner:
         self.scale = scale
         self.n_faults = n_faults
         self.metrics = metrics
+        self.adversarial = adversarial
         self.shrink = shrink
         self.max_shrink_replays = max_shrink_replays
         self.mutate = mutate
@@ -154,6 +182,7 @@ class VerifyRunner:
             "scale": self.scale,
             "n_faults": self.n_faults,
             "metrics": self.metrics,
+            "adversarial": self.adversarial,
         }
         payloads = [
             (knobs, index, mode)
@@ -211,6 +240,7 @@ class VerifyRunner:
                 mode=first_divergent["mode"],
                 scale=self.scale,
                 n_faults=self.n_faults,
+                adversarial=self.adversarial,
             )
             shrunk = self._shrink(spec)
 
@@ -228,6 +258,9 @@ class VerifyRunner:
             "results": results,
             "ok": not divergence_count and not harness_errors,
         }
+        if self.adversarial:
+            # Gated so pre-existing reports stay byte-identical.
+            report["adversarial"] = True
         if shrunk is not None:
             report["shrunk_reproducer"] = shrunk
         return report

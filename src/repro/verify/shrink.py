@@ -7,7 +7,11 @@ axes:
    component first: a reproducer with fewer faults is far easier to
    reason about);
 2. **sends** — ddmin-style chunk removal: try deleting halves, then
-   quarters, and so on down to single sends.
+   quarters, and so on down to single sends;
+3. **durations** — halve each surviving fault's ``duration_ns`` while
+   the divergence persists, so e.g. a seeded beacon-corruption episode
+   minimizes to a single corrupt wave instead of a long corruption
+   window.
 
 Each candidate spec is replayed from scratch (``diverges`` callback), so
 the shrunk spec is *known* to still fail, and the whole pass is bounded
@@ -52,6 +56,7 @@ def shrink_episode(
     # Dropping sends sometimes makes previously load-bearing faults
     # droppable; one more fault pass catches the common case.
     spec = _shrink_faults(spec, still_fails)
+    spec = _shrink_durations(spec, still_fails)
     return spec, replays[0]
 
 
@@ -68,6 +73,31 @@ def _shrink_faults(spec: EpisodeSpec, still_fails) -> EpisodeSpec:
             spec = candidate       # fault was irrelevant: keep it dropped
         else:
             index += 1             # load-bearing: move on
+    return spec
+
+
+# Below one beacon interval a window covers at most one emission — a
+# single corrupt wave, one flap, one straggling beacon.
+_MIN_DURATION_NS = 3_000
+
+
+def _shrink_durations(spec: EpisodeSpec, still_fails) -> EpisodeSpec:
+    """Halve each load-bearing fault's duration while it still fails."""
+    for index, event in enumerate(spec.faults):
+        duration = event.duration_ns
+        while duration > _MIN_DURATION_NS:
+            shorter = max(_MIN_DURATION_NS, duration // 2)
+            faults = list(spec.faults)
+            faults[index] = replace(event, duration_ns=shorter)
+            candidate = replace(spec, faults=tuple(faults))
+            verdict = still_fails(candidate)
+            if verdict is None:
+                return spec
+            if not verdict:
+                break
+            spec = candidate
+            event = faults[index]
+            duration = shorter
     return spec
 
 

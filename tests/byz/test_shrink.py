@@ -1,0 +1,74 @@
+"""Shrinking an adversarial episode (docs/BYZANTINE.md, docs/TESTING.md).
+
+A seeded beacon-corruption episode with a long corruption window and a
+spread of victim sends must minimize toward a single corrupt wave: the
+ddmin pass drops all but one victim send, and the duration-halving pass
+cuts the 250 µs window down to a few beacon intervals — the smallest
+burst that still poisons the victim's barrier.
+"""
+
+from repro.chaos.schedule import FaultEvent
+from repro.onepipe.config import OnePipeConfig
+from repro.verify.episodes import EpisodeSpec, SendOp
+from repro.verify.runner import check_episode
+from repro.verify.shrink import shrink_episode
+
+WINDOW_NS = 250_000
+
+
+def corrupt_beacon_spec() -> EpisodeSpec:
+    # Victims send reliably shortly after corruption onset, so even a
+    # short corruption burst inflates the receiver's barrier past their
+    # timestamps and denies them (the breach the oracle reports as
+    # denied_completion).
+    sends = tuple(
+        SendOp(101_000 + 20_000 * i, 0, True, ((1, f"v.q{i}"),))
+        for i in range(6)
+    )
+    return EpisodeSpec(
+        seed=501,
+        episode=0,
+        mode="chip",
+        scale="small",
+        n_processes=8,
+        horizon_ns=400_000,
+        drain_ns=5_000_000,
+        sends=sends,
+        faults=(
+            FaultEvent(
+                100_000,
+                "byz_corrupt_beacon",
+                "tor0.0.down",
+                WINDOW_NS,
+                {"inflate_ns": 100_000},
+            ),
+        ),
+    )
+
+
+def diverges(spec: EpisodeSpec) -> bool:
+    return bool(check_episode(spec)[1])
+
+
+class TestCorruptBeaconShrinks:
+    def test_minimizes_toward_single_corrupt_wave(self):
+        spec = corrupt_beacon_spec()
+        assert diverges(spec), "base episode must breach the oracle"
+
+        small, replays = shrink_episode(spec, diverges, max_replays=120)
+        assert replays <= 120
+
+        # One victim send and one fault survive.
+        assert len(small.sends) == 1
+        assert len(small.faults) == 1
+        fault = small.faults[0]
+        assert fault.kind == "byz_corrupt_beacon"
+
+        # The duration pass cut the window from ~83 beacon intervals to
+        # a handful — the corruption minimizes toward a single wave.
+        config = OnePipeConfig()
+        assert fault.duration_ns <= 3 * config.beacon_interval_ns
+        assert fault.duration_ns <= WINDOW_NS // 16
+
+        # And the shrunk spec is a true reproducer: it still diverges.
+        assert diverges(small)

@@ -152,3 +152,67 @@ class TestNonSeparablePartition:
         )
         assert failed == set(hosts(topo))
         assert all(timestamps[h] == 0 for h in hosts(topo))
+
+
+class TestLyingReports:
+    """Byzantine reporters (docs/BYZANTINE.md): equivocating notices
+    must never drag a failure cutoff *below* what any correct reporter
+    promised — a cutoff that under-reports retroactively discards
+    committed messages."""
+
+    def test_equivocating_cut_takes_conservative_max(self, topo):
+        # Two reports name the same dead link with different last-commit
+        # barriers (one reporter is lying).  The larger barrier wins.
+        reports = [
+            report(topo, "h0", "tor0.0.up", last_commit=500),
+            report(topo, "h0", "tor0.0.up", last_commit=20),
+        ]
+        assert failure_timestamp({"h0"}, reports) == 500
+
+    def test_lying_low_report_never_under_reports(self, topo):
+        # Whatever the liar claims, the cutoff is at least every honest
+        # reporter's promise, in any report order.
+        honest = report(topo, "h0", "tor0.0.up", last_commit=300)
+        for lie in (0, 1, 299):
+            liar = report(topo, "h0", "tor0.0.up", last_commit=lie)
+            for ordering in ([honest, liar], [liar, honest]):
+                assert failure_timestamp({"h0"}, ordering) >= 300
+
+    def test_determine_with_equivocating_reports(self, topo):
+        # End-to-end through determine(): the lying duplicate does not
+        # move the region's timestamp below the honest report.
+        uplink = topo.link("h3", "tor0.0.up")
+        reports = [
+            DeadLinkReport("tor0.0.up", uplink, 700),
+            DeadLinkReport("tor0.0.up", uplink, 5),
+        ]
+        failed, timestamps = determine(
+            topo.graph, reports, ROOTS, hosts(topo)
+        )
+        assert failed == {"h3"}
+        assert timestamps["h3"] == 700
+
+    def test_equivocal_reports_surfaces_conflict(self, topo):
+        from repro.onepipe.failure import equivocal_reports
+
+        link = topo.link("h0", "tor0.0.up")
+        other = topo.link("h1", "tor0.0.up")
+        conflicting = [
+            DeadLinkReport("tor0.0.up", link, 100),
+            DeadLinkReport("tor0.0.up", link, 200),
+        ]
+        agreeing = [
+            DeadLinkReport("tor0.0.up", other, 300),
+            DeadLinkReport("tor0.0.up", other, 300),
+        ]
+        flagged = equivocal_reports(conflicting + agreeing)
+        assert set(flagged) == {link}
+        assert sorted(r.last_commit for r in flagged[link]) == [100, 200]
+
+    def test_equivocal_reports_empty_without_conflict(self, topo):
+        from repro.onepipe.failure import equivocal_reports
+
+        link = topo.link("h0", "tor0.0.up")
+        assert equivocal_reports(
+            [DeadLinkReport("tor0.0.up", link, 100)]
+        ) == {}
