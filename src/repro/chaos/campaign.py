@@ -122,6 +122,7 @@ class CampaignRunner:
         use_raft: bool = False,
         metrics: bool = False,
         adversarial: bool = False,
+        analytic_beacons: bool = False,
         jobs: int = 1,
         progress=None,
     ) -> None:
@@ -135,6 +136,12 @@ class CampaignRunner:
         self.use_raft = use_raft
         self.metrics = metrics
         self.adversarial = adversarial
+        # Virtual beacon fabric (repro.onepipe.analytic).  Exact by
+        # construction, so episode reports are byte-identical either
+        # way — which is precisely why the flag never enters the report
+        # (and why CI can diff the two).  Off by default: chaos runs
+        # keep event-level beacons unless asked.
+        self.analytic_beacons = analytic_beacons
         self.jobs = jobs
         self.progress = progress
 
@@ -164,7 +171,9 @@ class CampaignRunner:
         cluster = OnePipeCluster(
             sim,
             n_processes=self.n_processes,
-            config=OnePipeConfig(mode=mode),
+            config=OnePipeConfig(
+                mode=mode, analytic_beacons=self.analytic_beacons
+            ),
             topology=topology,
             replicator=replicator,
         )
@@ -305,6 +314,7 @@ class CampaignRunner:
             "use_raft": self.use_raft,
             "metrics": self.metrics,
             "adversarial": self.adversarial,
+            "analytic_beacons": self.analytic_beacons,
         }
 
     # ------------------------------------------------------------------

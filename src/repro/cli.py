@@ -216,6 +216,7 @@ def cmd_chaos(args) -> int:
         use_raft=args.raft,
         metrics=args.metrics,
         adversarial=args.adversarial,
+        analytic_beacons=args.analytic_beacons,
         jobs=args.jobs,
         progress=progress,
     )
@@ -340,6 +341,7 @@ def cmd_verify(args) -> int:
         shrink=not args.no_shrink,
         metrics=args.metrics,
         adversarial=args.adversarial,
+        analytic_beacons=args.analytic_beacons,
         jobs=args.jobs,
         progress=print if not args.quiet else None,
     )
@@ -422,6 +424,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--metrics", action="store_true",
                        help="embed per-episode metrics summaries in the "
                             "report (see docs/OBSERVABILITY.md)")
+    chaos.add_argument("--analytic-beacons", action="store_true",
+                       help="run episodes on the virtual beacon fabric "
+                            "(exact; the report is byte-identical to an "
+                            "event-level run — see docs/PERF.md)")
     chaos.add_argument("--jobs", type=int, default=1,
                        help="worker processes for episodes (the report is "
                             "byte-identical for any job count)")
@@ -499,6 +505,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--metrics", action="store_true",
                         help="embed per-episode metrics summaries in the "
                              "report (see docs/OBSERVABILITY.md)")
+    verify.add_argument("--analytic-beacons", action="store_true",
+                        help="replay episodes on the virtual beacon fabric "
+                             "(exact; divergence reports are byte-identical "
+                             "to event-level replays — see docs/PERF.md)")
     verify.add_argument("--jobs", type=int, default=1,
                         help="worker processes for episode x mode pairs "
                              "(the report is byte-identical for any job "

@@ -74,6 +74,25 @@ class Link:
         Independent per-packet corruption probability.
     """
 
+    # Links are the hottest objects of a fat-tree run (every beacon and
+    # data packet does a dozen attribute operations per hop); __slots__
+    # turns those into fixed-offset loads.  ``_ord_slots`` and
+    # ``_cpu_buf`` belong to the ordering engines (interned barrier
+    # slots, switch-CPU coalescing buffer) but must be declared here.
+    __slots__ = (
+        "sim", "name", "src", "dst", "bytes_per_ns", "bandwidth_gbps",
+        "prop_delay_ns", "queue_capacity_bytes", "ecn_threshold_bytes",
+        "loss_rate", "_rng", "_burst", "_burst_bad", "_burst_rng",
+        "degraded_bandwidth_factor", "degraded_extra_delay_ns", "up",
+        "drop_filter", "_busy_until", "_backlog_bytes", "_backlog_fifo",
+        "_deliver_cb", "_beacon_ser_ns", "last_tx_time", "last_data_tx",
+        "tx_packets", "tx_bytes", "dropped_overflow", "dropped_corruption",
+        "dropped_burst", "dropped_down", "ecn_marked", "_metrics",
+        "_m_tx_packets", "_m_tx_bytes", "_m_drop_overflow",
+        "_m_drop_corruption", "_m_drop_burst", "_m_drop_down", "_m_ecn",
+        "_ord_slots", "_cpu_buf", "internal", "_beacon_fast",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -136,6 +155,13 @@ class Link:
         # the programmable-chip incarnation, so links busy with data do
         # not need beacons even if a beacon was just relayed on them.
         self.last_data_tx = 0
+        # Config-constant precondition for the analytic fabric's idle
+        # beacon cycle: with the queue fully drained a beacon can never
+        # tail-drop or ECN-mark on this link.  Capacity and ECN are set
+        # only at construction, so this never needs recomputing.
+        self._beacon_fast = (
+            queue_capacity_bytes is None or queue_capacity_bytes >= BEACON_BYTES
+        ) and (ecn_threshold_bytes is None or ecn_threshold_bytes >= 0)
 
         # Statistics.
         self.tx_packets = 0
@@ -155,6 +181,13 @@ class Link:
         self._m_drop_burst = metrics.counter("link.dropped_burst")
         self._m_drop_down = metrics.counter("link.dropped_down")
         self._m_ecn = metrics.counter("link.ecn_marked")
+        # Engine-owned state (see __slots__): None until an ordering
+        # engine attaches this link.
+        self._ord_slots = None
+        self._cpu_buf = None
+        # Set by Topology.add_link: an internal up<->down pairing link
+        # inside one physical switch (zero forwarding delay).
+        self.internal = False
 
     # ------------------------------------------------------------------
     def set_loss_rate(self, loss_rate: float) -> None:
@@ -280,6 +313,10 @@ class Link:
             serialization = self._beacon_ser_ns
         else:
             self.last_data_tx = now
+            # Per-node ceiling over last_data_tx of its outgoing links;
+            # lets ordering engines skip the idle-link scan entirely
+            # when the whole switch has been data-silent long enough.
+            self.src._data_ceiling = now
             size = packet.payload_bytes + HEADER_OVERHEAD_BYTES
             serialization = int(
                 size / (self.bytes_per_ns * self.degraded_bandwidth_factor)

@@ -45,6 +45,10 @@ class Node:
         self.failed = False
         self.in_links: List[Link] = []
         self.out_links: List[Link] = []
+        # Upper bound on max(link.last_data_tx) over out_links; bumped
+        # by Link.send on every data enqueue.  Ordering engines use it
+        # to prove "no recent data on any output link" without scanning.
+        self._data_ceiling = 0
 
     def attach_in_link(self, link: Link) -> None:
         self.in_links.append(link)

@@ -1,0 +1,545 @@
+"""Analytic (virtual) beacon fabric: barrier waves without packets.
+
+At scale, beacons dominate the event population (paper §4.3: they are
+O(hosts × switch ports) per interval) — yet a beacon *carries* barrier
+information, it never creates it (§4.2).  In event-level simulation each
+beacon costs a packet allocation, a ``link.send``, one scheduler event
+per link for the delivery, a ``receive`` dispatch, and a pool release.
+The fabric replaces all of that with batched wave advance:
+
+- **Virtual sends** replay the link's beacon accounting exactly
+  (``last_tx_time``, tail drop, ECN counters, serialization occupancy,
+  backlog FIFO, tx statistics) without constructing a packet, so data
+  packets sharing the link observe byte-identical queueing.
+- **Batched arrivals**: beacons are grouped by arrival time into one
+  scheduler event per distinct arrival instant — merged *across*
+  emissions under a sequence guard (below), so one synchronized wave
+  stage (every ToR relaying at the same instant, every host ticking at
+  the same instant) collapses into a handful of events.
+- **Virtual ingress** replays the destination's beacon branch (switch
+  engine register updates and cascade triggers, host agent barrier
+  floors) inline, mirroring the packet handlers line for line.
+
+Order-exactness of the merge: the simulator fires same-time events in
+posting (sequence) order, so a bucket that replays its entries in
+append order is exact as long as no *foreign* event targeting the same
+instant holds a sequence number between two merged entries.  Foreign
+posts to *other* instants are harmless — they cannot fire inside the
+bucket's instant — so the fabric only has to watch for collisions: it
+registers every open bucket's instant in ``Simulator._fabric_times``,
+and the scheduling entry points bump ``Simulator._fabric_epoch`` when
+a schedule targets a registered instant.  On an epoch change the
+fabric closes every open bucket (already-posted buckets still fire
+with the entries they collected; later appends start fresh buckets
+with later sequence numbers, which is exactly where the event-level
+run would have placed them relative to the colliding event).  This
+collision watch is what lets one bucket absorb appends across
+periodic-task reschedules and data traffic, collapsing a whole wave
+stage — every host NIC hop, every cascade settle, every relay
+emission, every receiver flush of one synchronized instant — into a
+single scheduler event each.
+
+Randomized elements do NOT break exactness: Gilbert–Elliott burst
+chains, i.i.d. corruption loss, and receiver-side loss draw from
+per-link / per-host RNG streams in chronological arrival order, and the
+fabric performs the *same draws from the same streams at the same
+simulated instants* as the event-level path would.  The only per-link
+fallback is a ``drop_filter`` (an arbitrary predicate over packet
+objects — it must be shown a real packet), in which case the fabric
+materializes a pooled beacon and hands it to ``link.send`` unchanged;
+a filter installed *while a virtual beacon is in flight* is shown a
+transient pooled probe at arrival, exactly where ``Link._deliver``
+would consult it.  ``MODE_BFT`` disables the fabric entirely: its
+beacons carry per-packet MACs whose verification is part of the threat
+model under test.
+
+Fidelity contract: with the fabric on, delivery traces, oracle
+verdicts, barrier/cascade timing, RNG streams, liveness state, and
+beacon/packet counters are byte-identical to the event-level run; only
+``Simulator.events_processed`` (fewer scheduler events) and PacketTap
+captures (no packets to tap) differ.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.packet import BEACON_BYTES, beacon_pool_of
+from repro.net.switch import Switch
+from repro.obs.registry import GLOBAL_METRICS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link
+    from repro.onepipe.hostagent import HostAgent
+    from repro.sim import Simulator
+
+
+class BeaconFabric:
+    """Virtual beacon transport shared by every emitter of one cluster."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._pool = beacon_pool_of(sim)
+        self._metrics = getattr(sim, "metrics", None) or GLOBAL_METRICS
+        # Open merge buckets: absolute time -> list of (fn, args)
+        # entries replayed in append order.  Guarded by the collision
+        # epoch (module docstring); a bucket removes itself from this
+        # table (and its instant from ``sim._fabric_times``) when it
+        # fires or is orphaned by an epoch change.
+        self._open: dict = {}
+        self._epoch = sim._fabric_epoch
+        # Stable bound-method object for _post_deliver's run-batching:
+        # ``self._deliver_many`` creates a fresh bound method on every
+        # attribute access, so the identity check there must use this.
+        self._deliver_many_cb = self._deliver_many
+        # Diagnostics (docs/PERF.md): how many beacons travelled
+        # virtually vs fell back to materialized packets.
+        self.virtual_beacons = 0
+        self.fallback_beacons = 0
+
+    # ------------------------------------------------------------------
+    # Host-emitted beacons (HostAgent._beacon_tick)
+    # ------------------------------------------------------------------
+    def host_beacon(self, agent: "HostAgent") -> None:
+        """Replay ``Host.send_packet`` for one host beacon.
+
+        The caller has already done the tick-side bookkeeping
+        (``beacons_sent``, metrics).  Clock reads happen here — at the
+        same instant ``_stamp_egress`` would read them — because
+        ``HostClock.now()`` advances slew state and must be called on
+        the event-level schedule.
+        """
+        host = agent.host
+        clock_now = agent.clock.now()
+        be, commit = agent.local_barriers(clock_now)
+        host.tx_packets += 1
+        if host._metrics.enabled:
+            host._m_tx.add()
+        sim = self.sim
+        if host.nic_delay_ns:
+            self.post_merged(
+                host.nic_delay_ns,
+                self._host_nic,
+                (host.uplink, be, commit, sim.now),
+            )
+        else:
+            self._host_nic(host.uplink, be, commit, sim.now)
+
+    def _host_nic(
+        self, link: "Link", be: int, commit: int, sent_at: int
+    ) -> None:
+        """The NIC-delay event: the beacon reaches the uplink queue."""
+        if link.drop_filter is not None:
+            # Host beacons carry src_host (Host.send_packet stamps it).
+            self._materialize(link, be, commit, sent_at, link.src.node_id)
+            return
+        arrival = self._virtual_link_send(link, self.sim.now)
+        if arrival is not None:
+            self._post_deliver(arrival, ((link,), be, commit, sent_at))
+
+    # ------------------------------------------------------------------
+    # Switch-emitted beacons (_OrderingEngineBase._send_beacons)
+    # ------------------------------------------------------------------
+    def emit(self, out_links, be_min: int, commit_min: int) -> None:
+        """Replay one coalesced beacon emission across ``out_links``.
+
+        The per-link send accounting of ``Link.send`` is fused inline
+        (it is the hottest loop of an analytic run); arrivals bucket by
+        instant and merge across emissions under the sequence guard.
+        """
+        sim = self.sim
+        now = sim.now
+        metrics_on = self._metrics.enabled
+        B = BEACON_BYTES
+        batch = None
+        count = 0
+        for link in out_links:
+            if link.drop_filter is not None:
+                self._materialize(link, be_min, commit_min, now)
+                continue
+            # --- Link.send, beacon path, inlined -----------------------
+            link.last_tx_time = now
+            fifo = link._backlog_fifo
+            if (
+                link._beacon_fast
+                and link.up
+                and link._busy_until <= now
+                and link._backlog_bytes == B
+                and len(fifo) == 1
+            ):
+                # Idle beacon cycle (the steady state): the only queued
+                # entry is the previous, already-serialized beacon.  The
+                # slow path would drain it (backlog B -> 0) and enqueue
+                # this one (0 -> B): replace in place, skip the drain,
+                # the capacity check (_beacon_fast rules out tail drop
+                # and ECN on an empty queue), and the backlog write.
+                done = now + link._beacon_ser_ns
+                link._busy_until = done
+                fifo[0] = (done, B)
+            else:
+                if not link.up:
+                    link.dropped_down += 1
+                    if metrics_on:
+                        link._m_drop_down.add()
+                    continue
+                backlog = link._backlog_bytes
+                if fifo and fifo[0][0] <= now:
+                    while fifo and fifo[0][0] <= now:
+                        backlog -= fifo.popleft()[1]
+                capacity = link.queue_capacity_bytes
+                if capacity is not None and backlog + B > capacity:
+                    link._backlog_bytes = backlog
+                    link.dropped_overflow += 1
+                    if metrics_on:
+                        link._m_drop_overflow.add()
+                    continue
+                ecn = link.ecn_threshold_bytes
+                if ecn is not None and backlog > ecn:
+                    # The event-level path would set packet.ecn, which
+                    # nothing reads on a consumed beacon; only counters.
+                    link.ecn_marked += 1
+                    if metrics_on:
+                        link._m_ecn.add()
+                busy_until = link._busy_until
+                done = (busy_until if busy_until > now else now) + link._beacon_ser_ns
+                link._busy_until = done
+                link._backlog_bytes = backlog + B
+                fifo.append((done, B))
+            link.tx_packets += 1
+            link.tx_bytes += B
+            if metrics_on:
+                link._m_tx_packets.add()
+                link._m_tx_bytes.add(B)
+            count += 1
+            arrival = done + link.prop_delay_ns + link.degraded_extra_delay_ns
+            if batch is None:
+                batch = {arrival: [link]}
+            else:
+                bucket = batch.get(arrival)
+                if bucket is None:
+                    batch[arrival] = [link]
+                else:
+                    bucket.append(link)
+        self.virtual_beacons += count
+        if batch is not None:
+            post = self._post_deliver
+            for arrival, links in batch.items():
+                post(arrival, (links, be_min, commit_min, now))
+
+    # ------------------------------------------------------------------
+    # The virtual link (Link.send beacon path, minus the packet)
+    # ------------------------------------------------------------------
+    def _virtual_link_send(self, link: "Link", now: int):
+        """Mirror of ``Link.send`` for a beacon; returns the arrival
+        time, or None if the link dropped it at enqueue.  (The fused
+        copy inside :meth:`emit` must stay in lockstep with this.)"""
+        link.last_tx_time = now
+        if not link.up:
+            link.dropped_down += 1
+            if link._metrics.enabled:
+                link._m_drop_down.add()
+            return None
+        fifo = link._backlog_fifo
+        backlog = link._backlog_bytes
+        if fifo:
+            while fifo and fifo[0][0] <= now:
+                backlog -= fifo.popleft()[1]
+            link._backlog_bytes = backlog
+        if (
+            link.queue_capacity_bytes is not None
+            and backlog + BEACON_BYTES > link.queue_capacity_bytes
+        ):
+            link.dropped_overflow += 1
+            if link._metrics.enabled:
+                link._m_drop_overflow.add()
+            return None
+        if (
+            link.ecn_threshold_bytes is not None
+            and backlog > link.ecn_threshold_bytes
+        ):
+            link.ecn_marked += 1
+            if link._metrics.enabled:
+                link._m_ecn.add()
+        busy_until = link._busy_until
+        done = (busy_until if busy_until > now else now) + link._beacon_ser_ns
+        link._busy_until = done
+        link._backlog_bytes = backlog + BEACON_BYTES
+        fifo.append((done, BEACON_BYTES))
+        link.tx_packets += 1
+        link.tx_bytes += BEACON_BYTES
+        if link._metrics.enabled:
+            link._m_tx_packets.add()
+            link._m_tx_bytes.add(BEACON_BYTES)
+        self.virtual_beacons += 1
+        return done + link.prop_delay_ns + link.degraded_extra_delay_ns
+
+    # ------------------------------------------------------------------
+    # Merge buckets (collision-epoch guarded; see module docstring)
+    # ------------------------------------------------------------------
+    def post_merged(self, delay: int, fn, args: tuple = ()) -> None:
+        """Schedule ``fn(*args)`` like ``sim.post`` but merged into the
+        per-instant bucket, if one is still open for that instant.
+        (Body kept in lockstep with :meth:`post_merged_at` — this is a
+        hot path, worth skipping the delegation.)"""
+        sim = self.sim
+        t = sim.now + delay
+        if sim._fabric_epoch != self._epoch:
+            self._close_all()
+        entries = self._open.get(t)
+        if entries is None:
+            entries = [(fn, args)]
+            self._open[t] = entries
+            sim.post_at(t, self._fire_merged, t, entries)
+            times = sim._fabric_times
+            times[t] = times.get(t, 0) + 1
+        else:
+            entries.append((fn, args))
+
+    def post_merged_at(self, t: int, fn, args: tuple = ()) -> None:
+        sim = self.sim
+        if sim._fabric_epoch != self._epoch:
+            # A foreign schedule targeted an open bucket's instant; its
+            # event now sits between the bucket's entries and anything
+            # appended from here on.  Close every bucket (they keep and
+            # fire what they already collected) and start fresh.
+            self._close_all()
+        entries = self._open.get(t)
+        if entries is None:
+            entries = [(fn, args)]
+            self._open[t] = entries
+            # Post first, register second: the bucket's own post must
+            # not count as a collision with itself.
+            sim.post_at(t, self._fire_merged, t, entries)
+            times = sim._fabric_times
+            times[t] = times.get(t, 0) + 1
+        else:
+            entries.append((fn, args))
+
+    def _close_all(self) -> None:
+        times = self.sim._fabric_times
+        for t in self._open:
+            self._unregister(times, t)
+        self._open.clear()
+        self._epoch = self.sim._fabric_epoch
+
+    @staticmethod
+    def _unregister(times: dict, t: int) -> None:
+        n = times.get(t, 0)
+        if n <= 1:
+            times.pop(t, None)
+        else:
+            times[t] = n - 1
+
+    def _post_deliver(self, t: int, group: tuple) -> None:
+        """``post_merged_at`` specialized for arrival groups.
+
+        Consecutive delivery groups landing in the same bucket share a
+        single ``_deliver_many`` entry — one replay prologue for the
+        whole run — and only a non-delivery entry in between (whose
+        relative order must be preserved) starts a new one.
+        """
+        sim = self.sim
+        if sim._fabric_epoch != self._epoch:
+            self._close_all()
+        dm = self._deliver_many_cb
+        entries = self._open.get(t)
+        if entries is None:
+            self._open[t] = entries = [(dm, ([group],))]
+            sim.post_at(t, self._fire_merged, t, entries)
+            times = sim._fabric_times
+            times[t] = times.get(t, 0) + 1
+        else:
+            last = entries[-1]
+            if last[0] is dm:
+                last[1][0].append(group)
+            else:
+                entries.append((dm, ([group],)))
+
+    def _fire_merged(self, t: int, entries) -> None:
+        """Replay one instant's merged entries in append order — which
+        the collision epoch guarantees is event-level firing order."""
+        if self._open.get(t) is entries:
+            del self._open[t]
+            self._unregister(self.sim._fabric_times, t)
+        for fn, args in entries:
+            fn(*args)
+
+    def _deliver(self, links, be: int, commit: int, sent_at: int) -> None:
+        """Replay ``Link._deliver`` + ``dst.receive`` for one emission's
+        beacons arriving at this instant."""
+        self._deliver_many(((links, be, commit, sent_at),))
+
+    def _deliver_many(self, groups) -> None:
+        """Replay arrivals for a run of delivery groups (one prologue
+        for every group the bucket collected back to back)."""
+        sim = self.sim
+        now = sim.now
+        metrics_on = self._metrics.enabled
+        switch_cls = Switch
+        post_merged = self.post_merged
+        for links, be, commit, sent_at in groups:
+            for link in links:
+                # Link._deliver, virtually: the drop checks draw from the
+                # same per-link streams the event-level path uses, in the
+                # same chronological order.
+                if not link.up:
+                    link.dropped_down += 1
+                    if metrics_on:
+                        link._m_drop_down.add()
+                    continue
+                if link._burst is not None and link._burst_drops():
+                    link.dropped_burst += 1
+                    if metrics_on:
+                        link._m_drop_burst.add()
+                    continue
+                if (
+                    link._rng is not None
+                    and link._rng.random() < link.loss_rate
+                ):
+                    link.dropped_corruption += 1
+                    if metrics_on:
+                        link._m_drop_corruption.add()
+                    continue
+                if link.drop_filter is not None:
+                    # Filter installed while this beacon was in flight (a
+                    # filtered link materializes at send time instead).
+                    # ``_deliver`` shows the filter a packet — so must we.
+                    probe = self._pool.acquire(be, commit)
+                    if getattr(link.src, "uplink", None) is not None:
+                        probe.src_host = link.src.node_id
+                    probe.sent_at = sent_at
+                    dropped = link.drop_filter(probe)
+                    self._pool.release(probe)
+                    if dropped:
+                        link.dropped_corruption += 1
+                        if metrics_on:
+                            link._m_drop_corruption.add()
+                        continue
+                dst = link.dst
+                if dst.failed:
+                    continue
+                dst.rx_packets += 1
+                if metrics_on:
+                    dst._m_rx.add()
+                engine = (
+                    dst.engine if type(dst) is switch_cls
+                    else getattr(dst, "engine", None)
+                )
+                if engine is not None:
+                    if engine._fp:
+                        # ProgrammableChipEngine.virtual_beacon fast path,
+                        # inlined: active slots, no dead links.
+                        engine._last_rx[link] = now
+                        slots = link._ord_slots
+                        bef = engine.be
+                        cof = engine.commit
+                        bvals = bef._values
+                        slot = slots[0]
+                        current = bvals[slot]
+                        if be > current:
+                            bvals[slot] = be
+                            cache = bef._min_cache
+                            if cache is not None and current == cache:
+                                n = bef._min_count - 1
+                                if n > 0:
+                                    bef._min_count = n
+                                else:
+                                    bef._min_cache = None
+                        cvals = cof._values
+                        slot = slots[1]
+                        current = cvals[slot]
+                        if commit > current:
+                            cvals[slot] = commit
+                            cache = cof._min_cache
+                            if cache is not None and current == cache:
+                                n = cof._min_count - 1
+                                if n > 0:
+                                    cof._min_count = n
+                                else:
+                                    cof._min_cache = None
+                        if metrics_on:
+                            engine._m_beacon_hop.observe(now - sent_at)
+                        if not engine._cascade_pending:
+                            # BarrierRegisterFile.minimum(), inlined (the
+                            # fast-path guard excludes pending links).
+                            be_min = bef._min_cache
+                            if be_min is None:
+                                if bef._n_active:
+                                    be_min = min(bvals)
+                                    bef._min_count = bvals.count(be_min)
+                                else:
+                                    be_min = 0
+                                bef._min_cache = be_min
+                            commit_min = cof._min_cache
+                            if commit_min is None:
+                                if cof._n_active:
+                                    commit_min = min(cvals)
+                                    cof._min_count = cvals.count(commit_min)
+                                else:
+                                    commit_min = 0
+                                cof._min_cache = commit_min
+                            if (
+                                be_min > engine._emitted_be
+                                or commit_min > engine._emitted_commit
+                            ):
+                                engine._cascade_pending = True
+                                post_merged(
+                                    engine._settle_ns,
+                                    engine._cascade_fire,
+                                )
+                    else:
+                        engine.virtual_beacon(link, be, commit, sent_at)
+                else:
+                    agent = getattr(dst, "onepipe_agent", None)
+                    if agent is None:
+                        # Plain switch / agent-less host — beacon dropped,
+                        # exactly like the packet handlers.
+                        continue
+                    # HostAgent.virtual_beacon, inlined.
+                    loss_rng = agent._loss_rng
+                    if (
+                        loss_rng is not None
+                        and loss_rng.random() < agent.receiver_loss_rate
+                    ):
+                        agent.receiver_drops += 1
+                        if metrics_on:
+                            agent._m_rx_drops.add()
+                        continue
+                    if metrics_on:
+                        agent._m_beacon_hop.observe(now - sent_at)
+                    changed = False
+                    if be > agent.rx_be_barrier:
+                        agent.rx_be_barrier = be
+                        changed = True
+                    if commit > agent.rx_commit_barrier:
+                        agent.rx_commit_barrier = commit
+                        changed = True
+                    if changed and not agent._flush_scheduled:
+                        agent._flush_scheduled = True
+                        self.post_merged_at(now, agent._flush)
+
+    # ------------------------------------------------------------------
+    def _materialize(
+        self,
+        link: "Link",
+        be: int,
+        commit: int,
+        sent_at: int,
+        src_host: str = "",
+    ) -> None:
+        """Fall back to a real pooled beacon through ``link.send`` (the
+        link has a drop_filter that must inspect a packet object).
+        Switch-emitted beacons leave ``src_host`` empty, exactly like
+        ``_send_beacons``; host beacons pass the emitting host's id."""
+        beacon = self._pool.acquire(be, commit)
+        if src_host:
+            beacon.src_host = src_host
+        beacon.sent_at = sent_at
+        self.fallback_beacons += 1
+        link.send(beacon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BeaconFabric virtual={self.virtual_beacons} "
+            f"fallback={self.fallback_beacons}>"
+        )

@@ -15,23 +15,47 @@ Two extra behaviours from the paper:
   current minimum — otherwise the node's emitted barrier could move
   backwards, violating the monotonic-promise property.
 
-The file maintains the minimum incrementally: registers only grow, so the
-cached minimum is recomputed only when the register currently holding the
-minimum is updated or membership changes.
+The registers are stored as an index-addressed list behind a dense
+link-id interning table (``link_id -> slot``), mirroring how the P4
+incarnation lays them out in switch SRAM: the per-packet hot path
+(:meth:`update_slot`) is one list index plus a compare, and the cached
+minimum is recomputed with a single C-speed ``min()`` over the list.
+Inactive slots (pending or removed links) hold the ``_INF`` sentinel so
+they can never win the minimum.  Slots are allocated once per link id
+and never recycled — membership changes are rare (§5.2 failures only),
+so the list stays dense in practice while cached slot ids held by
+engines stay valid for the links that still exist.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, List, Optional
+
+# Sentinel for slots excluded from the minimum (pending or removed
+# links).  Far above any simulated-ns barrier value, so a plain min()
+# over the slot list ignores them whenever any active register exists.
+_INF = 1 << 62
 
 
 class BarrierRegisterFile:
     """Per-input-link barrier registers with an incremental minimum."""
 
     def __init__(self) -> None:
-        self._registers: Dict[Hashable, int] = {}
-        self._pending: Dict[Hashable, int] = {}
+        # Interning table: link id -> dense slot, for links currently
+        # registered (active or pending).  Removed ids are dropped from
+        # the table but their slot stays allocated (holding _INF).
+        self._slots: Dict[Hashable, int] = {}
+        self._ids: List[Hashable] = []  # slot -> link id (None if removed)
+        self._values: List[int] = []    # slot -> barrier, _INF if inactive
+        self._pending: Dict[int, int] = {}  # slot -> pending barrier
+        self._n_active = 0
         self._min_cache: Optional[int] = None
+        # Multiplicity of the cached minimum in _values (meaningful only
+        # while _min_cache is not None).  Raising one of several slots
+        # tied at the minimum cannot change it — only the *last* such
+        # raise forces a rescan, so a synchronized beacon wave touching
+        # every register costs one min() instead of one per register.
+        self._min_count = 0
         # Optional structured tracing of membership transitions (link
         # add/join/remove and pending→active promotion).  These are the
         # rare events that change which links constrain the minimum —
@@ -75,11 +99,20 @@ class BarrierRegisterFile:
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
+    def _alloc_slot(self, link_id: Hashable) -> int:
+        if link_id in self._slots:
+            raise ValueError(f"link already registered: {link_id!r}")
+        slot = len(self._ids)
+        self._slots[link_id] = slot
+        self._ids.append(link_id)
+        self._values.append(_INF)
+        return slot
+
     def add_link(self, link_id: Hashable, initial: int = 0) -> None:
         """Register a link present from the start (initial barrier 0)."""
-        if link_id in self._registers or link_id in self._pending:
-            raise ValueError(f"link already registered: {link_id!r}")
-        self._registers[link_id] = initial
+        slot = self._alloc_slot(link_id)
+        self._values[slot] = initial
+        self._n_active += 1
         self._invalidate()
         if self._tracer is not None or self._metrics is not None:
             self._trace("link_add", link_id, initial=initial)
@@ -90,24 +123,25 @@ class BarrierRegisterFile:
         The link is excluded from the minimum until its barrier reaches
         the current minimum, preserving monotonicity of emitted barriers.
         """
-        if link_id in self._registers or link_id in self._pending:
-            raise ValueError(f"link already registered: {link_id!r}")
-        self._pending[link_id] = 0
+        slot = self._alloc_slot(link_id)
+        self._pending[slot] = 0
         if self._tracer is not None or self._metrics is not None:
             self._trace("link_join", link_id)
 
     def remove_link(self, link_id: Hashable) -> None:
         """Drop a (dead) link so the minimum can advance (§4.2)."""
-        removed = self._registers.pop(link_id, None)
-        pending_removed = self._pending.pop(link_id, None)
-        if removed is None and pending_removed is None:
+        slot = self._slots.pop(link_id, None)
+        if slot is None:
             raise KeyError(f"unknown link: {link_id!r}")
+        last = self._pending.pop(slot, None)
+        if last is None:
+            last = self._values[slot]
+            self._n_active -= 1
+        self._values[slot] = _INF
+        self._ids[slot] = None
         self._invalidate()
         if self._tracer is not None or self._metrics is not None:
-            self._trace(
-                "link_remove", link_id,
-                last=removed if removed is not None else pending_removed,
-            )
+            self._trace("link_remove", link_id, last=last)
 
     def demote_link(self, link_id: Hashable) -> None:
         """Move an active link back to *pending* state.
@@ -121,20 +155,36 @@ class BarrierRegisterFile:
         it catches up (same §4.2 rule as a newly joining link).
         No-op if the link is already pending.
         """
-        if link_id in self._pending:
+        try:
+            slot = self._slots[link_id]
+        except KeyError:
+            raise KeyError(f"unknown link: {link_id!r}") from None
+        if slot in self._pending:
             return
-        value = self._registers.pop(link_id)  # KeyError if unknown
-        self._pending[link_id] = 0
+        value = self._values[slot]
+        self._values[slot] = _INF
+        self._n_active -= 1
+        self._pending[slot] = 0
         self._invalidate()
         if self._tracer is not None or self._metrics is not None:
             self._trace("link_demote", link_id, last=value)
 
     def has_link(self, link_id: Hashable) -> bool:
-        return link_id in self._registers or link_id in self._pending
+        return link_id in self._slots
+
+    def slot_of(self, link_id: Hashable) -> int:
+        """The dense slot interned for ``link_id``.
+
+        Hot-path callers (ordering engines) cache this per link and use
+        :meth:`update_slot`; the slot stays valid until the link is
+        removed, and a re-joining link gets a *fresh* slot — callers
+        refresh their cache on rejoin.
+        """
+        return self._slots[link_id]
 
     @property
     def n_links(self) -> int:
-        return len(self._registers) + len(self._pending)
+        return len(self._slots)
 
     # ------------------------------------------------------------------
     # Updates and queries
@@ -145,31 +195,51 @@ class BarrierRegisterFile:
         FIFO links imply barriers arrive non-decreasing; taking the max
         makes the register robust to reordered control traffic too.
         """
-        # Hot path: no pending links (the steady state) skips straight to
-        # the active-register update.
-        if self._pending:
-            pending = self._pending.get(link_id)
-            if pending is not None:
-                if barrier > pending:
-                    self._pending[link_id] = barrier
-                # Promote once the newcomer caught up with the active
-                # minimum.
-                if self._pending[link_id] >= self.minimum():
-                    self._registers[link_id] = self._pending.pop(link_id)
-                    self._invalidate()
-                    if self._tracer is not None or self._metrics is not None:
-                        self._trace("link_promote", link_id, barrier=barrier)
-                return
-        registers = self._registers
         try:
-            current = registers[link_id]
+            slot = self._slots[link_id]
         except KeyError:
             raise KeyError(f"unknown link: {link_id!r}") from None
+        self.update_slot(slot, barrier)
+
+    def update_slot(self, slot: int, barrier: int) -> None:
+        """:meth:`update` addressed by interned slot (the hot path).
+
+        A slot whose link has been removed holds ``_INF`` and is a
+        silent no-op (the caller's cached slot went stale between the
+        removal and its refresh on rejoin).
+        """
+        # Hot path: no pending links (the steady state) skips straight
+        # to the active-register update.
+        pending = self._pending
+        if pending:
+            value = pending.get(slot)
+            if value is not None:
+                if barrier > value:
+                    pending[slot] = value = barrier
+                # Promote once the newcomer caught up with the active
+                # minimum.
+                if value >= self.minimum():
+                    del pending[slot]
+                    self._values[slot] = value
+                    self._n_active += 1
+                    self._invalidate()
+                    if self._tracer is not None or self._metrics is not None:
+                        self._trace(
+                            "link_promote", self._ids[slot], barrier=barrier
+                        )
+                return
+        values = self._values
+        current = values[slot]
         if barrier <= current:
             return
-        registers[link_id] = barrier
-        if current == self._min_cache:
-            self._min_cache = None
+        values[slot] = barrier
+        cache = self._min_cache
+        if cache is not None and current == cache:
+            n = self._min_count - 1
+            if n > 0:
+                self._min_count = n
+            else:
+                self._min_cache = None
 
     def minimum(self) -> int:
         """The barrier this node may promise downstream: min of registers.
@@ -177,26 +247,36 @@ class BarrierRegisterFile:
         With no (active) registers the node has no upstream constraints;
         returns 0 in the degenerate empty case.
         """
-        if self._min_cache is None:
-            if self._registers:
-                self._min_cache = min(self._registers.values())
+        cached = self._min_cache
+        if cached is None:
+            if self._n_active:
+                cached = min(self._values)
+                self._min_count = self._values.count(cached)
             else:
-                self._min_cache = 0
-        return self._min_cache
+                cached = 0
+                self._min_count = 0
+            self._min_cache = cached
+        return cached
 
     def register_value(self, link_id: Hashable) -> int:
-        if link_id in self._registers:
-            return self._registers[link_id]
-        if link_id in self._pending:
-            return self._pending[link_id]
-        raise KeyError(f"unknown link: {link_id!r}")
+        try:
+            slot = self._slots[link_id]
+        except KeyError:
+            raise KeyError(f"unknown link: {link_id!r}") from None
+        pending = self._pending.get(slot)
+        if pending is not None:
+            return pending
+        return self._values[slot]
 
     def laggards(self, threshold: int) -> list:
         """Links whose register is below ``threshold`` (diagnostics; the
         paper's control plane reports links whose barrier lags behind)."""
+        # Pending and removed slots hold _INF, so the comparison alone
+        # filters them (thresholds are simulated-ns values).
+        ids = self._ids
         return [
-            link_id
-            for link_id, value in self._registers.items()
+            ids[slot]
+            for slot, value in enumerate(self._values)
             if value < threshold
         ]
 
@@ -205,6 +285,6 @@ class BarrierRegisterFile:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<BarrierRegisterFile n={len(self._registers)} "
+            f"<BarrierRegisterFile n={self._n_active} "
             f"pending={len(self._pending)} min={self.minimum()}>"
         )

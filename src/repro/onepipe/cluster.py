@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 from repro.net.rpc import Directory
 from repro.net.topology import Topology, build_testbed
 from repro.onepipe.api import OnePipeEndpoint
-from repro.onepipe.config import OnePipeConfig
+from repro.onepipe.config import MODE_BFT, OnePipeConfig
 from repro.onepipe.controller import Controller
 from repro.onepipe.hostagent import HostAgent
 from repro.onepipe.incarnations import make_engine
@@ -87,6 +87,20 @@ class OnePipeCluster:
             self.endpoints.append(endpoint)
             if self.controller is not None:
                 self.controller.register_endpoint(endpoint)
+
+        # Virtual beacon fabric (repro.onepipe.analytic): exact replay
+        # of the beacon plane without per-beacon packets/events.  Never
+        # under MODE_BFT — its beacons carry per-packet MACs whose
+        # verification is part of the threat model under test.
+        self.fabric = None
+        if self.config.analytic_beacons and self.config.mode != MODE_BFT:
+            from repro.onepipe.analytic import BeaconFabric
+
+            self.fabric = BeaconFabric(sim)
+            for engine in self.engines.values():
+                engine._fabric = self.fabric
+            for agent in self.agents.values():
+                agent._fabric = self.fabric
 
         if start_clock_sync:
             self.topology.start_clock_sync()

@@ -514,6 +514,9 @@ class Controller:
             for link in list(getattr(engine, "_last_rx", {})):
                 if link.src.node_id != node_id:
                     continue
+                # Pending registers form below: drop the engine off the
+                # analytic fabric's inlined fast path.
+                engine._fp = False
                 for barrier in (engine.be, engine.commit):
                     if barrier.has_link(link):
                         barrier.demote_link(link)

@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.net.link import Link
 from repro.net.nic import Host
-from repro.net.packet import Packet, PacketKind, acquire_beacon, release_beacon
+from repro.net.packet import Packet, PacketKind, beacon_pool_of
 from repro.net.rpc import Directory
 from repro.obs.registry import GLOBAL_METRICS
 from repro.onepipe.config import MODE_BFT, MODE_CHIP, OnePipeConfig
@@ -102,6 +102,14 @@ class HostAgent:
         self.receiver_drops = 0
         host.egress_hook = self._stamp_egress
         host.ingress_hook = self._ingress
+        # Back-pointer for the virtual beacon fabric's arrival dispatch
+        # (repro.onepipe.analytic); harmless otherwise.
+        host.onepipe_agent = self
+        # Per-simulator beacon free list; the fabric itself is installed
+        # by the cluster when config.analytic_beacons is on (None =
+        # event-level beacons).
+        self._beacon_pool = beacon_pool_of(self.sim)
+        self._fabric = None
         self._beacon_task = self.sim.every(
             config.beacon_interval_ns, self._beacon_tick
         )
@@ -125,6 +133,7 @@ class HostAgent:
         self._beacon_task.cancel()
         self.host.egress_hook = None
         self.host.ingress_hook = None
+        self.host.onepipe_agent = None
 
     def set_receiver_loss_rate(self, rate: float) -> None:
         if not 0.0 <= rate <= 1.0:
@@ -208,6 +217,25 @@ class HostAgent:
                 barrier = value
         return barrier
 
+    def local_barriers(self, now: int) -> tuple:
+        """Both barrier promises in one endpoint pass (beacon hot path).
+
+        Equivalent to ``(local_be_barrier(now), local_commit_barrier(now))``:
+        ``be_barrier_floor`` is a pure read and ``commit_barrier_value``
+        only prunes its own sender's acked heap entries, so interleaving
+        the per-endpoint calls cannot change either result.
+        """
+        be = commit = now
+        for endpoint in self.endpoints.values():
+            sender = endpoint.sender
+            floor = sender.be_barrier_floor(now)
+            if floor < be:
+                be = floor
+            value = sender.commit_barrier_value(now)
+            if value < commit:
+                commit = value
+        return be, commit
+
     # ------------------------------------------------------------------
     # Ingress: barrier extraction + endpoint dispatch
     # ------------------------------------------------------------------
@@ -223,15 +251,15 @@ class HostAgent:
                 self.receiver_drops += 1
                 if self._metrics.enabled:
                     self._m_rx_drops.add()
-                release_beacon(packet)
+                self._beacon_pool.release(packet)
                 return True
             if self._bft and not self._verify_beacon(packet, _in_link):
-                release_beacon(packet)
+                self._beacon_pool.release(packet)
                 return True
             if self._metrics.enabled:
                 self._m_beacon_hop.observe(self.sim.now - packet.sent_at)
             self._update_barriers(packet.barrier_ts, packet.commit_ts)
-            release_beacon(packet)
+            self._beacon_pool.release(packet)
             return True
         if kind in _ONEPIPE_KINDS:
             if (
@@ -316,7 +344,11 @@ class HostAgent:
             changed = True
         if changed and not self._flush_scheduled:
             self._flush_scheduled = True
-            self.sim.post(0, self._flush)
+            fabric = self._fabric
+            if fabric is None:
+                self.sim.post(0, self._flush)
+            else:
+                fabric.post_merged_at(self.sim.now, self._flush)
 
     # Artificial extra delivery delay (reorder-overhead study, Fig. 11):
     # barriers handed to receivers are held back by this much.
@@ -353,11 +385,32 @@ class HostAgent:
         # needs.  (Switch engines do suppress beacons on busy links.)
         if self.host.failed or self.host.uplink is None:
             return
-        beacon = acquire_beacon()  # src/dst default to -1 (node-level)
         self.beacons_sent += 1
         if self._metrics.enabled:
             self._m_beacons.add()
+        fabric = self._fabric
+        if fabric is not None:
+            fabric.host_beacon(self)  # virtual send, same clock schedule
+            return
+        beacon = self._beacon_pool.acquire()  # src/dst -1 (node-level)
         self.host.send_packet(beacon)  # egress hook stamps the barriers
+
+    def virtual_beacon(self, be_barrier: int, commit_barrier: int,
+                       sent_at: int) -> None:
+        """Fabric ingress: ``_ingress``'s beacon branch for a beacon
+        that travelled virtually (the fabric never runs under MODE_BFT,
+        so there is no MAC to verify)."""
+        if (
+            self._loss_rng is not None
+            and self._loss_rng.random() < self.receiver_loss_rate
+        ):
+            self.receiver_drops += 1
+            if self._metrics.enabled:
+                self._m_rx_drops.add()
+            return
+        if self._metrics.enabled:
+            self._m_beacon_hop.observe(self.sim.now - sent_at)
+        self._update_barriers(be_barrier, commit_barrier)
 
     # ------------------------------------------------------------------
     # Failure handling, host side (§5.2)

@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.net.link import Link
-from repro.net.packet import Packet, PacketKind, acquire_beacon, release_beacon
+from repro.net.packet import Packet, PacketKind, beacon_pool_of
 from repro.net.switch import Switch
 from repro.obs.registry import GLOBAL_METRICS
 from repro.onepipe.barrier import BarrierRegisterFile
@@ -59,8 +59,25 @@ class _OrderingEngineBase:
         self.switch: Optional[Switch] = None
         self.be = BarrierRegisterFile()
         self.commit = BarrierRegisterFile()
+        # Beacon free list scoped to this run's simulator; the virtual
+        # beacon fabric, installed by the cluster when
+        # ``config.analytic_beacons`` is on (None = event-level beacons).
+        self._beacon_pool = beacon_pool_of(sim)
+        self._fabric = None
         self._last_rx: Dict[Link, int] = {}
         self._dead: set = set()
+        # Conservative lower bounds for the periodic scans: ``_rx_floor``
+        # under-estimates min(_last_rx) over live links, ``_tx_floor``
+        # under-estimates min(last_tx_time) over output links.  Both
+        # tracked quantities only ever increase, so a stale floor stays
+        # a valid lower bound — the scans skip entirely while the bound
+        # proves nothing can have timed out, and recompute the floor on
+        # each full pass.  Start pessimistic: scan until proven idle.
+        self._rx_floor = -1
+        self._tx_floor = -1
+        # Config reads hot enough to cache (the config is frozen).
+        self._settle_ns = config.cascade_settle_ns
+        self._dead_timeout = config.link_dead_timeout_ns
         self._task = None
         self.beacons_sent = 0
         self.links_declared_dead = 0
@@ -82,6 +99,13 @@ class _OrderingEngineBase:
         self._emitted_be = 0
         self._emitted_commit = 0
         self._cascade_pending = False
+        # Analytic-fabric fast-path flag: True only while this is a
+        # plain chip engine with no dead links and no pending registers
+        # (the steady state).  Cleared — conservatively, and never
+        # re-set — by every path that can create dead/pending state
+        # (_scan_liveness, rejoin_link, controller demotions); False
+        # just routes the fabric through the exact slow path.
+        self._fp = type(self) is ProgrammableChipEngine
         # Gray-failure straggler knob: >1.0 slows this switch's beacon
         # processing (CPU incarnations) or forwarding pipeline (chip).
         self.straggle_factor = 1.0
@@ -109,6 +133,13 @@ class _OrderingEngineBase:
             self.be.add_link(link)
             self.commit.add_link(link)
             self._last_rx[link] = self.sim.now
+            # Cached interned slots for the per-packet hot path.  A link
+            # has exactly one destination engine, so hanging the slots
+            # off the link is safe; refreshed on rejoin (fresh slots).
+            link._ord_slots = (
+                self.be.slot_of(link),
+                self.commit.slot_of(link),
+            )
         # Tick half an interval out of phase with the synchronized host
         # beacons: beacon waves (which arrive just after each host tick)
         # are relayed by the cascade, and the periodic tick only emits
@@ -168,10 +199,22 @@ class _OrderingEngineBase:
     def _scan_liveness(self) -> None:
         timeout = self.config.link_dead_timeout_ns
         now = self.sim.now
+        if now - self._rx_floor <= timeout:
+            # No live link can have gone silent for longer than the
+            # floor has, and the floor is within the timeout: the full
+            # scan would declare nothing dead.
+            return
+        floor = now
+        dead = self._dead
         for link, last in self._last_rx.items():
-            if link in self._dead or now - last <= timeout:
+            if link in dead:
+                continue
+            if now - last <= timeout:
+                if last < floor:
+                    floor = last
                 continue
             self._dead.add(link)
+            self._fp = False
             self.links_declared_dead += 1
             if self._metrics.enabled:
                 self._m_dead_links.add()
@@ -184,6 +227,7 @@ class _OrderingEngineBase:
                 self.failure_listener(self.switch.node_id, link, last_commit)
             elif self.commit.has_link(link):
                 self.commit.remove_link(link)
+        self._rx_floor = floor
 
     def remove_commit_link(self, link: Link) -> None:
         """Resume step: the controller authorizes dropping the dead link
@@ -199,6 +243,7 @@ class _OrderingEngineBase:
     def rejoin_link(self, link: Link) -> None:
         """A previously dead link carries traffic again: re-admit it in
         pending state so emitted barriers stay monotone (§4.2)."""
+        self._fp = False
         self._dead.discard(link)
         self._last_rx[link] = self.sim.now
         if not self.be.has_link(link):
@@ -212,6 +257,11 @@ class _OrderingEngineBase:
             # Resume skips links no longer dead.  Demote to pending so
             # it only counts again once it has caught up.
             self.commit.demote_link(link)
+        # A re-joined link gets fresh slots; refresh the hot-path cache.
+        link._ord_slots = (
+            self.be.slot_of(link),
+            self.commit.slot_of(link),
+        )
 
     # ------------------------------------------------------------------
     def _emit_beacon(self, out_link: Link) -> None:
@@ -234,13 +284,27 @@ class _OrderingEngineBase:
         self.beacons_sent += len(out_links)
         if self._metrics.enabled:
             self._m_beacons.add(len(out_links))
-        self.sim.post(
-            self.switch.forwarding_delay_ns,
-            self._send_beacons,
-            out_links,
-            self.be.minimum(),
-            self.commit.minimum(),
-        )
+        be_min = self.be._min_cache
+        if be_min is None:
+            be_min = self.be.minimum()
+        commit_min = self.commit._min_cache
+        if commit_min is None:
+            commit_min = self.commit.minimum()
+        fabric = self._fabric
+        if fabric is None:
+            self.sim.post(
+                self.switch.forwarding_delay_ns,
+                self._send_beacons,
+                out_links,
+                be_min,
+                commit_min,
+            )
+        else:
+            fabric.post_merged(
+                self.switch.forwarding_delay_ns,
+                self._send_beacons,
+                (out_links, be_min, commit_min),
+            )
 
     def _send_beacons(self, out_links, be_min: int, commit_min: int) -> None:
         switch = self.switch
@@ -254,11 +318,26 @@ class _OrderingEngineBase:
         auth = self._beacon_auth(be_min, commit_min)
         corrupt = self.beacon_corruption_ns
         if corrupt:
+            # Applied to the emitted values only — including under the
+            # fabric, which transports the already-corrupted minima
+            # (the lie is wire-level, not a local state corruption).
             be_min = max(0, be_min + corrupt)
             commit_min = max(0, commit_min + corrupt)
+        fabric = self._fabric
+        if fabric is not None:
+            # Virtual transport (auth is always 0 here: the cluster
+            # never installs the fabric under MODE_BFT).
+            fabric.emit(out_links, be_min, commit_min)
+            if out_links is switch.out_links:
+                # Full-fleet emission: every output link's last_tx_time
+                # is exactly now (sends stamp it even when the link is
+                # down or dropping), so the idle-scan floor is exact.
+                self._tx_floor = self.sim.now
+            return
         now = self.sim.now
+        pool = self._beacon_pool
         for link in out_links:
-            beacon = acquire_beacon(be_min, commit_min)
+            beacon = pool.acquire(be_min, commit_min)
             # Engine beacons bypass Host.send_packet, which is where
             # host-emitted packets get sent_at; stamp here so per-hop
             # beacon-latency histograms see the true emission time.
@@ -266,6 +345,8 @@ class _OrderingEngineBase:
             if auth:
                 beacon.auth = auth
             link.send(beacon)
+        if out_links is switch.out_links:
+            self._tx_floor = now
 
     def _beacon_auth(self, be_min: int, commit_min: int) -> int:
         """Simulated MAC for emitted beacons; 0 outside MODE_BFT."""
@@ -290,14 +371,26 @@ class _OrderingEngineBase:
         ):
             return
         self._cascade_pending = True
-        self.sim.post(self.config.cascade_settle_ns, self._cascade_fire)
+        fabric = self._fabric
+        if fabric is None:
+            self.sim.post(self.config.cascade_settle_ns, self._cascade_fire)
+        else:
+            fabric.post_merged(
+                self.config.cascade_settle_ns, self._cascade_fire
+            )
 
     def _cascade_fire(self) -> None:
         self._cascade_pending = False
         if self.switch is None or self.switch.failed:
             return
-        self._emitted_be = self.be.minimum()
-        self._emitted_commit = self.commit.minimum()
+        be_min = self.be._min_cache
+        self._emitted_be = (
+            be_min if be_min is not None else self.be.minimum()
+        )
+        commit_min = self.commit._min_cache
+        self._emitted_commit = (
+            commit_min if commit_min is not None else self.commit.minimum()
+        )
         needs = self._links_needing_beacons(self.sim.now)
         if needs:
             self._emit_beacons(needs)
@@ -322,19 +415,30 @@ class ProgrammableChipEngine(_OrderingEngineBase):
         if self._dead and in_link in self._dead:
             self.rejoin_link(in_link)
         # Equation (4.1): update the input link register, then stamp the
-        # packet with the minimum across all input links.
+        # packet with the minimum across all input links.  Attached
+        # links carry cached interned slots (index-addressed update);
+        # links fed to the engine without attach fall back to id lookup.
         be = self.be
         commit = self.commit
-        be.update(in_link, packet.barrier_ts)
-        commit.update(in_link, packet.commit_ts)
-        be_min = be.minimum()
-        commit_min = commit.minimum()
+        slots = getattr(in_link, "_ord_slots", None)
+        if slots is not None:
+            be.update_slot(slots[0], packet.barrier_ts)
+            commit.update_slot(slots[1], packet.commit_ts)
+        else:
+            be.update(in_link, packet.barrier_ts)
+            commit.update(in_link, packet.commit_ts)
+        be_min = be._min_cache
+        if be_min is None:
+            be_min = be.minimum()
+        commit_min = commit._min_cache
+        if commit_min is None:
+            commit_min = commit.minimum()
         if packet.kind == PacketKind.BEACON:
             # Beacons are strictly hop-by-hop; consumed here, relayed by
             # the cascade below.
             if self._metrics.enabled:
                 self._m_beacon_hop.observe(self.sim.now - packet.sent_at)
-            release_beacon(packet)
+            self._beacon_pool.release(packet)
             forward = False
         else:
             packet.barrier_ts = be_min
@@ -345,16 +449,68 @@ class ProgrammableChipEngine(_OrderingEngineBase):
             be_min > self._emitted_be or commit_min > self._emitted_commit
         ):
             self._cascade_pending = True
-            self.sim.post(self.config.cascade_settle_ns, self._cascade_fire)
+            fabric = self._fabric
+            if fabric is None:
+                self.sim.post(
+                    self.config.cascade_settle_ns, self._cascade_fire
+                )
+            else:
+                fabric.post_merged(
+                    self.config.cascade_settle_ns, self._cascade_fire
+                )
         return forward
+
+    def virtual_beacon(
+        self, in_link: Link, be_ts: int, commit_ts: int, sent_at: int
+    ) -> None:
+        """Fabric ingress: ``on_packet``'s beacon branch, line for line,
+        for a beacon that travelled virtually (no packet to consume).
+        The fabric has already replayed ``Switch.receive``'s failed
+        check and rx accounting."""
+        self._last_rx[in_link] = self.sim.now
+        if self._dead and in_link in self._dead:
+            self.rejoin_link(in_link)
+        be = self.be
+        commit = self.commit
+        slots = in_link._ord_slots
+        be.update_slot(slots[0], be_ts)
+        commit.update_slot(slots[1], commit_ts)
+        be_min = be._min_cache
+        if be_min is None:
+            be_min = be.minimum()
+        commit_min = commit._min_cache
+        if commit_min is None:
+            commit_min = commit.minimum()
+        if self._metrics.enabled:
+            self._m_beacon_hop.observe(self.sim.now - sent_at)
+        if not self._cascade_pending and (
+            be_min > self._emitted_be or commit_min > self._emitted_commit
+        ):
+            self._cascade_pending = True
+            fabric = self._fabric
+            if fabric is None:
+                self.sim.post(
+                    self.config.cascade_settle_ns, self._cascade_fire
+                )
+            else:
+                fabric.post_merged(
+                    self.config.cascade_settle_ns, self._cascade_fire
+                )
 
     def _links_needing_beacons(self, now: int) -> list:
         # Chip mode: any forwarded *data* packet refreshes barriers, so
         # beacons are only needed on links without recent data traffic.
         half = self.config.beacon_interval_ns // 2
+        switch = self.switch
+        if now - switch._data_ceiling >= half:
+            # The switch-wide ceiling proves every output link has been
+            # data-silent for at least half an interval — the common
+            # case outside bursts, so skip the per-link scan.  Callers
+            # only iterate the result, never mutate it.
+            return switch.out_links
         return [
             link
-            for link in self.switch.out_links
+            for link in switch.out_links
             if now - link.last_data_tx >= half
         ]
 
@@ -364,16 +520,24 @@ class ProgrammableChipEngine(_OrderingEngineBase):
         # still get a beacon so downstream liveness timers stay calm.
         if self.switch is None or self.switch.failed:
             return
-        self._scan_liveness()
         now = self.sim.now
+        if now - self._rx_floor > self._dead_timeout:
+            # Only pay the liveness-scan call when the floor cannot
+            # prove the scan would be a no-op (same guard it re-checks).
+            self._scan_liveness()
         interval = self.config.beacon_interval_ns
-        idle = [
-            link
-            for link in self.switch.out_links
-            if now - link.last_tx_time >= interval
-        ]
-        if idle:
-            self._emit_beacons(idle)
+        if now - self._tx_floor >= interval:
+            floor = now
+            idle = []
+            for link in self.switch.out_links:
+                last = link.last_tx_time
+                if now - last >= interval:
+                    idle.append(link)
+                if last < floor:
+                    floor = last
+            self._tx_floor = floor
+            if idle:
+                self._emit_beacons(idle)
 
 
 class SwitchCpuEngine(_OrderingEngineBase):
@@ -407,9 +571,32 @@ class SwitchCpuEngine(_OrderingEngineBase):
         # barrier, so folding the max into the buffer is exact; the
         # barrier promise is already valid when a beacon arrives (links
         # are FIFO), so applying several at once — each no later than
-        # its own processing delay — is safe.
-        self._rx_buffer: Dict[Link, list] = {}
+        # its own processing delay — is safe.  The buffer itself lives
+        # on the links (``link._cpu_buf``, a [be, commit] pair or None)
+        # with ``_buf_links`` tracking which links are dirty in arrival
+        # order — index-addressed state instead of a dict rebuilt every
+        # window.
+        self._buf_links: list = []
         self._flush_pending = False
+
+    def _buffer_beacon(
+        self, in_link: Link, barrier_ts: int, commit_ts: int
+    ) -> None:
+        buffered = getattr(in_link, "_cpu_buf", None)
+        if buffered is None:
+            in_link._cpu_buf = [barrier_ts, commit_ts]
+            self._buf_links.append(in_link)
+        else:
+            if barrier_ts > buffered[0]:
+                buffered[0] = barrier_ts
+            if commit_ts > buffered[1]:
+                buffered[1] = commit_ts
+        if not self._flush_pending:
+            self._flush_pending = True
+            self.sim.post(
+                int(self.processing_delay_ns * self.straggle_factor),
+                self._cpu_flush,
+            )
 
     def on_packet(self, packet: Packet, in_link: Link) -> bool:
         if self.switch.failed:
@@ -418,23 +605,20 @@ class SwitchCpuEngine(_OrderingEngineBase):
         if packet.kind == PacketKind.BEACON:
             if self._metrics.enabled:
                 self._m_beacon_hop.observe(self.sim.now - packet.sent_at)
-            buffered = self._rx_buffer.get(in_link)
-            if buffered is None:
-                self._rx_buffer[in_link] = [packet.barrier_ts, packet.commit_ts]
-            else:
-                if packet.barrier_ts > buffered[0]:
-                    buffered[0] = packet.barrier_ts
-                if packet.commit_ts > buffered[1]:
-                    buffered[1] = packet.commit_ts
-            release_beacon(packet)
-            if not self._flush_pending:
-                self._flush_pending = True
-                self.sim.post(
-                    int(self.processing_delay_ns * self.straggle_factor),
-                    self._cpu_flush,
-                )
+            self._buffer_beacon(in_link, packet.barrier_ts, packet.commit_ts)
+            self._beacon_pool.release(packet)
             return False
         return True  # data forwarded by the chip, barriers untouched
+
+    def virtual_beacon(
+        self, in_link: Link, be_ts: int, commit_ts: int, sent_at: int
+    ) -> None:
+        """Fabric ingress: ``on_packet``'s beacon branch for a beacon
+        that travelled virtually."""
+        self._note_arrival(in_link)
+        if self._metrics.enabled:
+            self._m_beacon_hop.observe(self.sim.now - sent_at)
+        self._buffer_beacon(in_link, be_ts, commit_ts)
 
     def _apply_straggler(self) -> None:
         # The chip still forwards data at full speed; only the CPU (or
@@ -443,13 +627,15 @@ class SwitchCpuEngine(_OrderingEngineBase):
 
     def _cpu_flush(self) -> None:
         self._flush_pending = False
-        buffered = self._rx_buffer
-        if not buffered:
+        links = self._buf_links
+        if not links:
             return
-        self._rx_buffer = {}
+        self._buf_links = []
         be = self.be
         commit = self.commit
-        for in_link, (be_barrier, commit_ts) in buffered.items():
+        for in_link in links:
+            be_barrier, commit_ts = in_link._cpu_buf
+            in_link._cpu_buf = None
             if be.has_link(in_link):
                 be.update(in_link, be_barrier)
             if commit.has_link(in_link):
@@ -459,8 +645,10 @@ class SwitchCpuEngine(_OrderingEngineBase):
 
     def _links_needing_beacons(self, now: int) -> list:
         # CPU mode: data packets do not carry barriers, so every output
-        # link gets wave beacons whether busy or not (§6.2.2).
-        return list(self.switch.out_links)
+        # link gets wave beacons whether busy or not (§6.2.2).  Returns
+        # the live list (callers only iterate it); the identity also
+        # lets _send_beacons recognize a full-fleet emission.
+        return self.switch.out_links
 
     def _tick(self) -> None:
         # Keep-alive when the wave is stalled (no cascade for a full
@@ -468,16 +656,24 @@ class SwitchCpuEngine(_OrderingEngineBase):
         # timers stay calm while the barrier value itself cannot advance.
         if self.switch is None or self.switch.failed:
             return
-        self._scan_liveness()
         now = self.sim.now
+        if now - self._rx_floor > self._dead_timeout:
+            # Only pay the liveness-scan call when the floor cannot
+            # prove the scan would be a no-op (same guard it re-checks).
+            self._scan_liveness()
         interval = self.config.beacon_interval_ns
-        idle = [
-            link
-            for link in self.switch.out_links
-            if now - link.last_tx_time >= interval
-        ]
-        if idle:
-            self._emit_beacons(idle)
+        if now - self._tx_floor >= interval:
+            floor = now
+            idle = []
+            for link in self.switch.out_links:
+                last = link.last_tx_time
+                if now - last >= interval:
+                    idle.append(link)
+                if last < floor:
+                    floor = last
+            self._tx_floor = floor
+            if idle:
+                self._emit_beacons(idle)
 
 
 class HostDelegationEngine(SwitchCpuEngine):
@@ -629,7 +825,7 @@ class BftChipEngine(ProgrammableChipEngine):
                     f"beacon auth failure on {in_link.name} "
                     f"(be={packet.barrier_ts} commit={packet.commit_ts})",
                 )
-                release_beacon(packet)
+                self._beacon_pool.release(packet)
                 return False
             self._last_rx[in_link] = self.sim.now
             if self._dead and in_link in self._dead:
@@ -639,7 +835,7 @@ class BftChipEngine(ProgrammableChipEngine):
             staged_be, staged_commit = self._staged_minima(
                 in_link, packet.barrier_ts, packet.commit_ts
             )
-            release_beacon(packet)
+            self._beacon_pool.release(packet)
             be = self.be
             commit = self.commit
             if be.has_link(in_link):
@@ -661,7 +857,18 @@ class BftChipEngine(ProgrammableChipEngine):
         # only advance through authenticated, cross-checked beacons or
         # the hop's own aggregation), so no per-packet MAC is needed
         # here — the hot path stays at chip speed.
-        if packet.last_frag and getattr(in_link.src, "uplink", None) is not None:
+        # Only timestamped payload kinds participate: ACK/NAK/RECALL and
+        # controller traffic carry msg_id bookkeeping but a zero msg_ts,
+        # so including them would frame every honest process as a
+        # timestamp-regressing liar on its first acknowledgment.
+        if (
+            packet.last_frag
+            and (
+                packet.kind == PacketKind.DATA
+                or packet.kind == PacketKind.RDATA
+            )
+            and getattr(in_link.src, "uplink", None) is not None
+        ):
             high = self._send_high.get(packet.src)
             if (
                 high is not None

@@ -36,6 +36,7 @@ layered on top (:mod:`repro.net`, :mod:`repro.clock`).
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Any, Callable, Iterator, Optional
 
@@ -117,6 +118,39 @@ class Simulator:
         # default, cached by components, enable *in place*
         # (``sim.metrics.enabled = True``) before building a cluster.
         self.metrics = MetricsRegistry(enabled=False)
+        # Per-simulator scoped singletons (see :meth:`scoped`).
+        self._scoped: dict = {}
+        # Merge-bucket collision watch (repro.onepipe.analytic).  Beacon
+        # fabrics register every instant with an open merged bucket here
+        # (refcounted, in case several fabrics share one simulator); any
+        # schedule targeting a registered instant bumps the epoch, which
+        # tells the fabrics a foreign event now holds a sequence number
+        # after their buckets' — appends past that point would fire out
+        # of event-level order, so they close their buckets.  The table
+        # is empty unless a fabric is active, making the check one
+        # failing membership test on the scheduling paths.
+        self._fabric_times: dict = {}
+        self._fabric_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Per-simulator scoped state
+    # ------------------------------------------------------------------
+    def scoped(self, key: str, factory: Callable[[], Any]) -> Any:
+        """A lazily created singleton bound to *this* simulator.
+
+        Subsystems that used to keep process-wide module state (free
+        lists, key registries, interning tables) hang it off the
+        simulator instead, so back-to-back runs in one process cannot
+        observe each other: ``pool = sim.scoped("beacon_pool", BeaconPool)``.
+        The first call per key invokes ``factory()``; later calls return
+        the same object.  Keys are plain strings, namespaced by module
+        convention (``"repro.net.beacon_pool"``).
+        """
+        try:
+            return self._scoped[key]
+        except KeyError:
+            obj = self._scoped[key] = factory()
+            return obj
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -136,6 +170,8 @@ class Simulator:
         # Hot path: inlined push (no schedule_at call); delay >= 0 already
         # guarantees the event is not in the past.
         time = self.now + int(delay)
+        if time in self._fabric_times:
+            self._fabric_epoch += 1
         seq = self._seq
         self._seq = seq + 1
         handle = EventHandle(time, seq, callback, args, self)
@@ -151,6 +187,8 @@ class Simulator:
                 f"cannot schedule at {time}, current time is {self.now}"
             )
         time = int(time)
+        if time in self._fabric_times:
+            self._fabric_epoch += 1
         seq = self._seq
         self._seq = seq + 1
         handle = EventHandle(time, seq, callback, args, self)
@@ -167,6 +205,8 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         time = self.now + int(delay)
+        if time in self._fabric_times:
+            self._fabric_epoch += 1
         seq = self._seq
         self._seq = seq + 1
         heapq.heappush(self._heap, (time, seq, (callback, args)))
@@ -177,9 +217,12 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self.now}"
             )
+        time = int(time)
+        if time in self._fabric_times:
+            self._fabric_epoch += 1
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._heap, (int(time), seq, (callback, args)))
+        heapq.heappush(self._heap, (time, seq, (callback, args)))
 
     def schedule_timer(
         self, delay: int, callback: Callable[..., Any], *args: Any
@@ -198,6 +241,8 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         time = self.now + int(delay)
+        if time in self._fabric_times:
+            self._fabric_epoch += 1
         seq = self._seq
         self._seq = seq + 1
         handle = EventHandle(time, seq, callback, args, self)
@@ -221,6 +266,8 @@ class Simulator:
                 f"cannot schedule at {time}, current time is {self.now}"
             )
         time = int(time)
+        if time in self._fabric_times:
+            self._fabric_epoch += 1
         seq = self._seq
         self._seq = seq + 1
         handle = EventHandle(time, seq, callback, args, self)
@@ -253,6 +300,32 @@ class Simulator:
         # Beyond the horizon, or in a slot already transferred (sub-slot
         # delay behind the cursor): the heap takes it.
         heapq.heappush(self._heap, (time, seq, handle))
+
+    def _requeue_timer(self, handle, time: int) -> None:
+        """Re-arm a just-fired timer handle at ``time``.
+
+        :class:`PeriodicTask` reschedules through here: identical
+        ``(time, seq)`` placement to :meth:`schedule_timer_at`, but the
+        handle object is recycled instead of reallocated (a periodic
+        task has at most one pending firing, and the run loop has
+        already detached the popped handle).
+        """
+        if time in self._fabric_times:
+            self._fabric_epoch += 1
+        seq = self._seq
+        self._seq = seq + 1
+        handle.time = time
+        handle.seq = seq
+        handle._sim = self
+        slot = time >> self._wheel_shift
+        cursor = self._wheel_cursor
+        if cursor <= slot <= cursor + self._wheel_mask:
+            self._wheel_slots[slot & self._wheel_mask].append(
+                (time, seq, handle)
+            )
+            self._wheel_count += 1
+        else:
+            self._timer_to_heap(time, seq, handle, slot)
 
     def _wheel_to_heap(self) -> None:
         """Transfer due wheel slots into the heap.
@@ -345,6 +418,21 @@ class Simulator:
         int
             The number of events processed by this call.
         """
+        # The loop allocates heavily (heap entries, handles, merge
+        # buckets) and drops the references just as fast, with no cycles
+        # among them — generational GC passes only add pauses that
+        # re-scan the whole topology graph.  Pause collection for the
+        # duration; cyclic garbage waits until the loop returns.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(until, max_events)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self, until: Optional[int], max_events: Optional[int]) -> int:
         self._stopped = False
         processed = 0
         heap = self._heap
@@ -596,12 +684,13 @@ class PeriodicTask:
         if self._cancelled:  # callback may cancel us
             return
         sim = self._sim
-        time = self._next_time = self._next_time + self._interval
+        time = self._next_time + self._interval
+        self._next_time = time
         if self._jitter and self._jitter_rng is not None:
             time += self._jitter_rng.randrange(self._jitter)
         if time < sim.now:
             time = sim.now
-        self._handle = sim.schedule_timer_at(time, self._fire)
+        sim._requeue_timer(self._handle, time)
 
     def cancel(self) -> None:
         self._cancelled = True

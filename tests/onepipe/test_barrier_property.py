@@ -1,0 +1,227 @@
+"""Property test: BarrierRegisterFile vs a naive re-min model.
+
+The register file maintains its minimum incrementally (PR 4 added a
+steady-state fast path to ``update``; this PR moved the registers into
+slot-addressed lists behind an interning table).  Both optimizations are
+only safe if every interleaving of membership transitions and updates
+yields the same observable state as the obvious implementation: a dict
+of active registers, a dict of pending registers, and ``min()`` computed
+from scratch on every query.
+
+Hypothesis drives random interleavings of ``add_link`` / ``join_link`` /
+``remove_link`` / ``demote_link`` / ``update`` (by id and by interned
+slot) against that naive model and compares ``minimum`` /
+``register_value`` / ``has_link`` / ``n_links`` / ``laggards`` after
+every step.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.onepipe.barrier import BarrierRegisterFile
+
+LINK_IDS = ["l0", "l1", "l2", "l3", "l4"]
+
+
+class NaiveModel:
+    """The textbook implementation: dicts plus from-scratch min()."""
+
+    def __init__(self):
+        self.registers = {}
+        self.pending = {}
+
+    def add_link(self, link_id, initial=0):
+        if link_id in self.registers or link_id in self.pending:
+            raise ValueError
+        self.registers[link_id] = initial
+
+    def join_link(self, link_id):
+        if link_id in self.registers or link_id in self.pending:
+            raise ValueError
+        self.pending[link_id] = 0
+
+    def remove_link(self, link_id):
+        if link_id in self.registers:
+            del self.registers[link_id]
+        elif link_id in self.pending:
+            del self.pending[link_id]
+        else:
+            raise KeyError
+
+    def demote_link(self, link_id):
+        if link_id in self.pending:
+            return
+        if link_id not in self.registers:
+            raise KeyError
+        del self.registers[link_id]
+        self.pending[link_id] = 0
+
+    def update(self, link_id, barrier):
+        if link_id in self.pending:
+            if barrier > self.pending[link_id]:
+                self.pending[link_id] = barrier
+            if self.pending[link_id] >= self.minimum():
+                self.registers[link_id] = self.pending.pop(link_id)
+            return
+        if link_id not in self.registers:
+            raise KeyError
+        if barrier > self.registers[link_id]:
+            self.registers[link_id] = barrier
+
+    def minimum(self):
+        return min(self.registers.values()) if self.registers else 0
+
+    def register_value(self, link_id):
+        if link_id in self.registers:
+            return self.registers[link_id]
+        if link_id in self.pending:
+            return self.pending[link_id]
+        raise KeyError
+
+    def has_link(self, link_id):
+        return link_id in self.registers or link_id in self.pending
+
+    @property
+    def n_links(self):
+        return len(self.registers) + len(self.pending)
+
+    def laggards(self, threshold):
+        return {
+            link_id
+            for link_id, value in self.registers.items()
+            if value < threshold
+        }
+
+
+def _op_strategy():
+    link = st.sampled_from(LINK_IDS)
+    barrier = st.integers(min_value=0, max_value=200)
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("add"), link, barrier),
+            st.tuples(st.just("join"), link, st.just(0)),
+            st.tuples(st.just("remove"), link, st.just(0)),
+            st.tuples(st.just("demote"), link, st.just(0)),
+            st.tuples(st.just("update"), link, barrier),
+            st.tuples(st.just("update_slot"), link, barrier),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+
+
+def _check_observables(real: BarrierRegisterFile, model: NaiveModel) -> None:
+    assert real.minimum() == model.minimum()
+    assert real.n_links == model.n_links
+    for link_id in LINK_IDS:
+        assert real.has_link(link_id) == model.has_link(link_id)
+        if model.has_link(link_id):
+            assert real.register_value(link_id) == model.register_value(
+                link_id
+            )
+    for threshold in (0, 50, 150, 10**9):
+        assert set(real.laggards(threshold)) == model.laggards(threshold)
+
+
+@settings(max_examples=300, deadline=None)
+@given(ops=_op_strategy())
+def test_register_file_matches_naive_model(ops):
+    real = BarrierRegisterFile()
+    model = NaiveModel()
+    for op, link_id, barrier in ops:
+        if op == "add":
+            try:
+                model.add_link(link_id, barrier)
+            except ValueError:
+                with pytest.raises(ValueError):
+                    real.add_link(link_id, barrier)
+            else:
+                real.add_link(link_id, barrier)
+        elif op == "join":
+            try:
+                model.join_link(link_id)
+            except ValueError:
+                with pytest.raises(ValueError):
+                    real.join_link(link_id)
+            else:
+                real.join_link(link_id)
+        elif op == "remove":
+            try:
+                model.remove_link(link_id)
+            except KeyError:
+                with pytest.raises(KeyError):
+                    real.remove_link(link_id)
+            else:
+                real.remove_link(link_id)
+        elif op == "demote":
+            try:
+                model.demote_link(link_id)
+            except KeyError:
+                with pytest.raises(KeyError):
+                    real.demote_link(link_id)
+            else:
+                real.demote_link(link_id)
+        elif op == "update":
+            try:
+                model.update(link_id, barrier)
+            except KeyError:
+                with pytest.raises(KeyError):
+                    real.update(link_id, barrier)
+            else:
+                real.update(link_id, barrier)
+        elif op == "update_slot":
+            # The hot path engines actually use: updates addressed by
+            # the interned slot instead of the link id.
+            if real.has_link(link_id):
+                real.update_slot(real.slot_of(link_id), barrier)
+                model.update(link_id, barrier)
+        _check_observables(real, model)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(
+            st.sampled_from(LINK_IDS[:3]),
+            st.integers(min_value=0, max_value=100),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_steady_state_fast_path_minimum(updates):
+    """With no pending links at all, the PR-4 fast path in update() must
+    keep the cached minimum coherent across arbitrary update orders."""
+    real = BarrierRegisterFile()
+    model = NaiveModel()
+    for link_id in LINK_IDS[:3]:
+        real.add_link(link_id)
+        model.add_link(link_id)
+    for link_id, barrier in updates:
+        real.update(link_id, barrier)
+        model.update(link_id, barrier)
+        assert real.minimum() == model.minimum()
+
+
+def test_stale_slot_after_remove_is_inert():
+    """A cached slot surviving its link's removal must be a no-op, and a
+    rejoining link gets a fresh slot that behaves like a pending join."""
+    real = BarrierRegisterFile()
+    real.add_link("a", 5)
+    real.add_link("b", 10)
+    stale = real.slot_of("a")
+    real.remove_link("a")
+    assert real.minimum() == 10
+    real.update_slot(stale, 99)  # stale: must not resurrect the register
+    assert real.minimum() == 10
+    assert not real.has_link("a")
+    real.join_link("a")
+    fresh = real.slot_of("a")
+    assert fresh != stale
+    assert real.minimum() == 10  # pending: excluded
+    real.update_slot(fresh, 12)  # >= minimum: promotes
+    assert real.minimum() == 10
+    assert real.register_value("a") == 12

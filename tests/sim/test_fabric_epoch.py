@@ -1,0 +1,85 @@
+"""The collision-epoch contract between Simulator and BeaconFabric.
+
+The analytic fabric merges same-instant work into one scheduler event
+per instant, replaying entries in append order.  That is only exact if
+no *foreign* event targeting a merged instant holds a sequence number
+between two merged entries — so every scheduling entry point bumps
+``_fabric_epoch`` when it targets an instant registered in
+``_fabric_times``, and the fabric closes its open buckets on an epoch
+change: the foreign event then fires between the closed bucket and any
+later-appended one, exactly where the event-level run would place it.
+"""
+
+from repro.onepipe.analytic import BeaconFabric
+from repro.sim import Simulator
+
+
+def test_every_entry_point_bumps_epoch_on_registered_instant():
+    sim = Simulator(seed=1)
+    sim._fabric_times[500] = 1
+    noop = lambda *a: None
+
+    before = sim._fabric_epoch
+    sim.post(500, noop)           # lands exactly on 500
+    assert sim._fabric_epoch == before + 1
+    sim.post_at(500, noop)
+    assert sim._fabric_epoch == before + 2
+    sim.schedule(500, noop)
+    assert sim._fabric_epoch == before + 3
+    sim.schedule_at(500, noop)
+    assert sim._fabric_epoch == before + 4
+    sim.schedule_timer(500, noop)
+    assert sim._fabric_epoch == before + 5
+    sim.schedule_timer_at(500, noop)
+    assert sim._fabric_epoch == before + 6
+
+    # Unregistered instants are free.
+    sim.post_at(501, noop)
+    sim.schedule(499, noop)
+    assert sim._fabric_epoch == before + 6
+
+
+def test_periodic_requeue_bumps_epoch():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.every(100, lambda: fired.append(sim.now))
+    # The task's own requeue (inside its firing at t=100) targets t=200;
+    # a bucket open at 200 must be invalidated by it.
+    sim._fabric_times[200] = 1
+    before = sim._fabric_epoch
+    sim.run(until=150)
+    assert fired == [100]
+    assert sim._fabric_epoch == before + 1
+
+
+def test_foreign_event_splits_bucket_in_sequence_order():
+    sim = Simulator(seed=1)
+    fabric = BeaconFabric(sim)
+    log = []
+
+    fabric.post_merged(100, log.append, ("merged-1",))
+    fabric.post_merged(100, log.append, ("merged-2",))
+    # Foreign event at the merged instant: scheduled after the first two
+    # appends, so the event-level order is merged-1, merged-2, foreign,
+    # merged-3.  The epoch bump forces the fabric to close the open
+    # bucket; the next append starts a fresh bucket with a later
+    # sequence number than the foreign event.
+    sim.post(100, log.append, "foreign")
+    fabric.post_merged(100, log.append, ("merged-3",))
+    sim.run(until=200)
+    assert log == ["merged-1", "merged-2", "foreign", "merged-3"]
+
+
+def test_bucket_unregisters_after_firing():
+    sim = Simulator(seed=1)
+    fabric = BeaconFabric(sim)
+    log = []
+    fabric.post_merged(100, log.append, ("a",))
+    sim.run(until=150)
+    assert log == ["a"]
+    assert 100 not in sim._fabric_times
+    assert fabric._open == {}
+    # A later event at the fired instant's time value is no collision.
+    before = sim._fabric_epoch
+    sim.post_at(160, log.append, "later")
+    assert sim._fabric_epoch == before

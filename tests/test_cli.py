@@ -138,8 +138,10 @@ def test_verify_divergence_exits_nonzero(tmp_path, capsys, monkeypatch):
 
     real_check = runner_mod.check_episode
 
-    def broken_check(spec, mutate=None, metrics=False):
-        run, divergences = real_check(spec, mutate=mutate, metrics=metrics)
+    def broken_check(spec, mutate=None, metrics=False, **kwargs):
+        run, divergences = real_check(
+            spec, mutate=mutate, metrics=metrics, **kwargs
+        )
         divergences.append(Divergence(
             "order", "synthetic divergence for the exit-code test",
             receiver=0, index=0, seed=spec.seed, episode=spec.episode,
