@@ -134,8 +134,6 @@ class CephOnePipe:
     later endpoints.
     """
 
-    _write_ids = itertools.count(1)
-
     def __init__(
         self,
         cluster: OnePipeCluster,
@@ -148,6 +146,7 @@ class CephOnePipe:
         self.disks = [SsdModel(self.sim, f"oposd{r}") for r in range(n_replicas)]
         self._responders: Dict[int, Messenger] = {}
         self._pending: Dict[int, tuple] = {}
+        self._write_ids = itertools.count(1)
         self.writes_completed = 0
         for proc in range(n_replicas):
             endpoint = cluster.endpoint(proc)

@@ -79,8 +79,6 @@ class RdmaHashTable:
     """One-sided-RDMA hash table with fences and leader-follower
     replication."""
 
-    _entry_ids = itertools.count(1)
-
     def __init__(
         self,
         sim: Simulator,
@@ -128,6 +126,7 @@ class RdmaHashTable:
         ]
         self._repl_pending: Dict[int, tuple] = {}
         self._repl_ids = itertools.count(1)
+        self._entry_ids = itertools.count(1)
         self.inserts = 0
         self.lookups = 0
 
@@ -240,9 +239,6 @@ class OnePipeHashTable:
     servers (shard-major), endpoints after that are clients.
     """
 
-    _op_ids = itertools.count(1)
-    _entry_ids = itertools.count(1)
-
     def __init__(
         self,
         cluster: OnePipeCluster,
@@ -260,6 +256,10 @@ class OnePipeHashTable:
         self.regions: Dict[int, MemoryRegion] = {}
         self._responders: Dict[int, Messenger] = {}
         self._pending: Dict[int, tuple] = {}
+        # Per-instance so op/entry ids depend only on this run's
+        # history, not on what else ran in the same Python process.
+        self._op_ids = itertools.count(1)
+        self._entry_ids = itertools.count(1)
         self._lookup_rng = self.sim.rng("hashtable.replica_choice")
         self.inserts = 0
         self.lookups = 0

@@ -68,8 +68,6 @@ def classify(ops: List[tuple]) -> str:
 class OnePipeKVS:
     """The paper's transactional KVS on 1Pipe."""
 
-    _txn_ids = itertools.count(1)
-
     def __init__(
         self,
         cluster: OnePipeCluster,
@@ -83,6 +81,9 @@ class OnePipeKVS:
         self.storage: List[Dict[int, Any]] = [dict() for _ in range(self.n)]
         self._responders: List[Messenger] = []
         self._pending: Dict[int, _PendingTxn] = {}
+        # Per-instance so txn ids depend only on this run's history, not
+        # on what else ran in the same Python process.
+        self._txn_ids = itertools.count(1)
         self.txns_committed = 0
         self.ro_retries = 0
         for i in range(self.n):
@@ -224,6 +225,7 @@ class FarmKVS:
         ]
         self.locks: List[Dict[int, int]] = [dict() for _ in range(self.n)]
         self.rpcs: List[RpcEndpoint] = []
+        self._txn_ids = itertools.count(1)
         self.txns_committed = 0
         self.txns_aborted = 0
         hosts = topology.assign_hosts(n_processes)
@@ -283,8 +285,6 @@ class FarmKVS:
         return True
 
     # Client side ----------------------------------------------------------
-    _txn_ids = itertools.count(1)
-
     def run_txn(self, initiator: int, ops: List[tuple]) -> Future:
         from repro.sim import Process
 

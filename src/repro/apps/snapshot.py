@@ -48,13 +48,12 @@ class SnapshotParticipant:
 class SnapshotCoordinator:
     """Drives snapshot markers and application traffic over one cluster."""
 
-    _snap_ids = itertools.count(1)
-
     def __init__(self, cluster: OnePipeCluster, member_procs: List[int]) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.member_procs = list(member_procs)
         self.participants: Dict[int, SnapshotParticipant] = {}
+        self._snap_ids = itertools.count(1)
         self._pending: Dict[int, tuple] = {}  # snap_id -> (future, waiting)
 
     def register(

@@ -129,8 +129,6 @@ class TpccOnePipe:
     rest are transaction initiators (clients).
     """
 
-    _txn_ids = itertools.count(1)
-
     def __init__(
         self,
         cluster: OnePipeCluster,
@@ -148,6 +146,7 @@ class TpccOnePipe:
         self.replicas: Dict[int, WarehouseState] = {}
         self._responders: List[Messenger] = []
         self._pending: Dict[int, dict] = {}
+        self._txn_ids = itertools.count(1)
         self.txns_committed = 0
         self.txns_retried = 0
         self.failed_replicas: set = set()

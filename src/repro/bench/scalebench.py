@@ -139,6 +139,43 @@ def bench_fat_tree(
 # of beacon/timestamp authentication and f+1 cross-checks against the
 # plain k=4 point, and is informational — not a regression gate (see
 # ``INFORMATIONAL_BENCHMARKS`` in :mod:`repro.bench.microbench`).
+def bench_workload_overload(seed: int, scale: float) -> BenchResult:
+    """One hotspot-scenario shard (docs/WORKLOADS.md): open-loop
+    multi-tenant arrivals through admission control into the kvstore on
+    the 8-host fat-tree.  Charts how fast the engine simulates under
+    saturation — arrivals, backpressure decisions, retries, and app
+    round trips all included.  ``scale`` stretches the traffic window.
+    """
+    from repro.workload.runner import run_shard
+    from repro.workload.scenarios import get_scenario
+
+    scenario = get_scenario("hotspot")
+    scenario = scenario.with_overrides(
+        horizon_ns=max(100_000, int(scenario.horizon_ns * scale)),
+    )
+    start = time.perf_counter()
+    report = run_shard(scenario, seed, 0, check_ordering=False)
+    wall = time.perf_counter() - start
+    admission = report["admission"]
+    simulated = scenario.start_ns + scenario.horizon_ns + scenario.drain_ns
+    return BenchResult(
+        "workload_overload",
+        wall,
+        {
+            "offered": report["offered"],
+            "completed": report["completed"],
+            "rejected": admission["rejected"],
+            "deferred": admission["deferred"],
+            "retries": report["retries"],
+            "simulated_ns": simulated,
+        },
+        {
+            "ops_per_sec": report["completed"] / wall if wall > 0 else 0.0,
+            "simulated_ns_per_sec": simulated / wall if wall > 0 else 0.0,
+        },
+    )
+
+
 SCALE_BENCHMARKS: Dict[str, Callable[[int, float], BenchResult]] = {
     "fattree_k4_h16": lambda seed, scale: bench_fat_tree(seed, scale, k=4),
     "fattree_k4_h32": lambda seed, scale: bench_fat_tree(
@@ -151,4 +188,5 @@ SCALE_BENCHMARKS: Dict[str, Callable[[int, float], BenchResult]] = {
     "fattree_k4_h16_bft": lambda seed, scale: bench_fat_tree(
         seed, scale, k=4, mode="bft"
     ),
+    "workload_overload": bench_workload_overload,
 }

@@ -368,6 +368,45 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def cmd_workload(args) -> int:
+    from repro.workload import get_scenario, run_scenario, write_report
+
+    out = args.out or f"results/workload_{args.scenario}.json"
+    scenario = get_scenario(args.scenario)
+    report = run_scenario(
+        scenario,
+        seed=args.seed,
+        jobs=args.jobs,
+        faults=args.faults,
+        analytic_beacons=args.analytic_beacons,
+    )
+    write_report(report, out)
+    totals = report["totals"]
+    utilization = report["utilization"]
+    print(f"workload {scenario.name}: app={scenario.app}, "
+          f"{scenario.shards} shards, seed={args.seed}"
+          + (f", faults={args.faults}/shard" if args.faults else ""))
+    print(f"  offered {totals['arrivals']}  admitted {totals['admitted']}  "
+          f"deferred {totals['deferred']}  rejected {totals['rejected']}  "
+          f"retries {totals['retries']}  dropped {totals['dropped']}  "
+          f"completed {totals['completed']}")
+    print(f"  busy fraction mean {utilization['mean_busy_fraction']:.3f} "
+          f"max {utilization['max_busy_fraction']:.3f}  "
+          f"max queue depth {utilization['max_queue_depth']}")
+    for name, tenant in report["tenants"].items():
+        lag = tenant["delivery_lag"]
+        p99 = lag["p99"]
+        p999 = lag["p999"]
+        print(f"  tenant {name:12s} lag p99 "
+              f"{p99 / 1000 if p99 is not None else float('nan'):9.1f} us  "
+              f"p99.9 {p999 / 1000 if p999 is not None else float('nan'):9.1f} us  "
+              f"({lag['count']} ops)")
+    ordering = report["ordering"]
+    print(f"  ordering: {ordering['deliveries']} deliveries, "
+          f"{ordering['violations']} violations -> {out}")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -480,6 +519,28 @@ def build_parser() -> argparse.ArgumentParser:
     observe.add_argument("--out-trace",
                          default="results/observe_trace.json")
 
+    workload = sub.add_parser(
+        "workload", help="open-loop multi-tenant overload scenarios "
+                         "with admission control + per-tenant SLOs"
+    )
+    workload.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                          help="scenario seed (overrides the global --seed)")
+    workload.add_argument("--scenario", default="hotspot",
+                          choices=["hotspot", "flash_crowd", "retry_storm"])
+    workload.add_argument("--faults", type=int, default=0,
+                          help="gray-failure faults injected per shard "
+                               "(chaos schedule composed with the overload)")
+    workload.add_argument("--analytic-beacons", action="store_true",
+                          help="run shards on the virtual beacon fabric "
+                               "(exact; the report is byte-identical — see "
+                               "docs/PERF.md)")
+    workload.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for shards (the report is "
+                               "byte-identical for any job count)")
+    workload.add_argument("--out", default=None,
+                          help="report path (default: "
+                               "results/workload_<scenario>.json)")
+
     verify = sub.add_parser(
         "verify", help="fuzzed episodes checked against the delivery-"
                        "contract reference oracle"
@@ -529,6 +590,7 @@ COMMANDS = {
     "observe": cmd_observe,
     "bench": cmd_bench,
     "verify": cmd_verify,
+    "workload": cmd_workload,
 }
 
 

@@ -29,7 +29,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "KNOWN_BYZ_METRICS",
+    "KNOWN_WORKLOAD_METRICS",
     "METRICS_SCHEMA",
+    "WORKLOAD_TENANT_COUNTERS",
+    "WORKLOAD_TENANT_HISTOGRAMS",
     "build_chrome_trace",
     "build_metrics_report",
     "dumps_stable",
@@ -55,6 +58,56 @@ KNOWN_BYZ_METRICS = frozenset({
     "byz.payload_auth_failures",  # receivers: payload MAC mismatches
     "byz.ts_regressions_rejected",  # receivers: regressed timestamps
 })
+
+# The workload-engine SLO metrics (docs/WORKLOADS.md).  Same closure
+# rationale as ``byz.*``: the workload-smoke CI job compares reports
+# byte-for-byte, so the namespace admits only the registered flat names
+# plus per-tenant names of the form ``workload.tenant.<name>.<leaf>``
+# with a registered leaf.
+KNOWN_WORKLOAD_METRICS = frozenset({
+    "workload.admitted",        # admission controllers: dispatched now
+    "workload.arrivals",        # engine: first-time arrivals
+    "workload.completed",       # engine: op futures resolved
+    "workload.deferred",        # admission controllers: parked in FIFO
+    "workload.dropped",         # engine: retry budget exhausted / dead host
+    "workload.rejected",        # admission controllers: queue full
+    "workload.retries",         # engine: backoff resubmissions scheduled
+    "workload.timed_out",       # admission controllers: backstop releases
+})
+WORKLOAD_TENANT_COUNTERS = frozenset({
+    "arrivals", "admitted", "deferred", "rejected", "retries",
+    "dropped", "completed",
+})
+WORKLOAD_TENANT_HISTOGRAMS = frozenset({"delivery_lag_ns"})
+KNOWN_WORKLOAD_HISTOGRAMS = frozenset({"workload.queue_wait_ns"})
+
+
+def _workload_name_problem(name: str, kind: str) -> Optional[str]:
+    """Validate one ``workload.*`` metric name; None when acceptable."""
+    if name.startswith("workload.tenant."):
+        rest = name[len("workload.tenant."):]
+        tenant, _, leaf = rest.rpartition(".")
+        known = (
+            WORKLOAD_TENANT_COUNTERS if kind == "counter"
+            else WORKLOAD_TENANT_HISTOGRAMS
+        )
+        if not tenant or leaf not in known:
+            return (
+                f"{kind} {name!r} not a registered per-tenant workload "
+                f"metric (leaf must be one of {sorted(known)})"
+            )
+        return None
+    known_flat = (
+        KNOWN_WORKLOAD_METRICS if kind == "counter"
+        else KNOWN_WORKLOAD_HISTOGRAMS
+    )
+    if name not in known_flat:
+        return (
+            f"{kind} {name!r} not a registered workload.* metric "
+            f"(see KNOWN_WORKLOAD_METRICS)"
+        )
+    return None
+
 
 # Chrome trace-event phases we emit: instant, counter, metadata.
 _TRACE_PHASES = {"i", "C", "M"}
@@ -162,9 +215,17 @@ def validate_metrics_report(report: Any) -> List[str]:
                         f"counter {name!r} not a registered byz.* metric "
                         f"(see KNOWN_BYZ_METRICS)"
                     )
+                if isinstance(name, str) and name.startswith("workload."):
+                    problem = _workload_name_problem(name, "counter")
+                    if problem is not None:
+                        problems.append(problem)
         histograms = metrics.get("histograms")
         if isinstance(histograms, dict):
             for name, hist in histograms.items():
+                if isinstance(name, str) and name.startswith("workload."):
+                    problem = _workload_name_problem(name, "histogram")
+                    if problem is not None:
+                        problems.append(problem)
                 if not isinstance(hist, dict):
                     problems.append(f"histogram {name!r} not an object")
                     continue

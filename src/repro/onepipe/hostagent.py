@@ -110,6 +110,9 @@ class HostAgent:
         # event-level beacons).
         self._beacon_pool = beacon_pool_of(self.sim)
         self._fabric = None
+        # Admission control (repro.onepipe.admission): None unless the
+        # workload engine installs it, so default runs are untouched.
+        self.admission = None
         self._beacon_task = self.sim.every(
             config.beacon_interval_ns, self._beacon_tick
         )
@@ -134,6 +137,15 @@ class HostAgent:
         self.host.egress_hook = None
         self.host.ingress_hook = None
         self.host.onepipe_agent = None
+
+    def install_admission(self, config) -> "object":
+        """Attach an :class:`repro.onepipe.admission.AdmissionController`
+        (idempotent — the first config wins) and return it."""
+        if self.admission is None:
+            from repro.onepipe.admission import AdmissionController
+
+            self.admission = AdmissionController(self, config)
+        return self.admission
 
     def set_receiver_loss_rate(self, rate: float) -> None:
         if not 0.0 <= rate <= 1.0:

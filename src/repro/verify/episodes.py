@@ -340,6 +340,19 @@ def replay_episode(
     )
 
 
+def extract_observation(
+    sim: Simulator, cluster: OnePipeCluster, records
+) -> EpisodeObservation:
+    """Build an :class:`EpisodeObservation` from a finished run.
+
+    ``records`` is a list of ``(SendOp, Scattering)`` pairs in issue
+    order.  Public so other harnesses (the workload engine's raw-mode
+    saturation tests) can feed their own traffic through the same
+    §2.1 reference oracle.
+    """
+    return _extract_observation(sim, cluster, records)
+
+
 def _extract_observation(
     sim: Simulator, cluster: OnePipeCluster, records
 ) -> EpisodeObservation:

@@ -1,0 +1,207 @@
+"""Canned overload scenarios (docs/WORKLOADS.md).
+
+Each :class:`ScenarioSpec` is pure data — tenants, rate curves,
+admission knobs, and the app it feeds — so a ``(scenario, seed)`` pair
+fully determines a run.  Three scenarios ship:
+
+- **hotspot** — one tenant pins its entire (Zipf-hot) client
+  population to a single initiator host of the kvstore and offers far
+  more load than that host's admission window serves, while a
+  well-behaved background tenant spreads over every host.  The hot
+  host must shed load (rejects/defers) without disturbing per-sender
+  ordering or the background tenant's SLO.
+- **flash_crowd** — a quiet hashtable fleet hit by a linear ramp to a
+  plateau several times the fleet's capacity (a product launch), on
+  top of a diurnal steady tenant.
+- **retry_storm** — an "aggressive" rate-class tenant (minimal
+  backoff, deep retry budget) against a deliberately tiny admission
+  queue on the replicated log: mass rejection feeds retries, and the
+  jittered exponential backoff must converge rather than melt down.
+
+Scenario sizing targets the 8-host verification fat-tree: large enough
+to saturate (>90% busy fraction on the loaded agents), small enough
+that a two-shard run stays in CI smoke budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.onepipe.admission import AdmissionConfig
+from repro.workload.generators import RateCurve
+from repro.workload.tenants import RATE_CLASSES, TenantSpec
+
+__all__ = ["SCENARIOS", "ScenarioSpec", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    name: str
+    app: str                       # key into repro.workload.engine.APPS
+    description: str
+    n_processes: int
+    scale: str                     # verify topology: "small" / "testbed"
+    start_ns: int
+    horizon_ns: int
+    drain_ns: int
+    shards: int                    # independent seeded slices (--jobs fans these)
+    admission: AdmissionConfig
+    tenants: Tuple[TenantSpec, ...]
+
+    def with_app(self, app: str) -> "ScenarioSpec":
+        """The same traffic on a different app adapter (the saturation
+        oracle tests replay scenarios on ``raw``)."""
+        return replace(self, app=app)
+
+    def with_overrides(self, **kwargs) -> "ScenarioSpec":
+        return replace(self, **kwargs)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "app": self.app,
+            "description": self.description,
+            "n_processes": self.n_processes,
+            "scale": self.scale,
+            "start_ns": self.start_ns,
+            "horizon_ns": self.horizon_ns,
+            "drain_ns": self.drain_ns,
+            "shards": self.shards,
+            "admission": {
+                "max_inflight": self.admission.max_inflight,
+                "queue_limit": self.admission.queue_limit,
+                "op_timeout_ns": self.admission.op_timeout_ns,
+            },
+            "tenants": {
+                spec.name: spec.describe() for spec in self.tenants
+            },
+        }
+
+
+_HOTSPOT = ScenarioSpec(
+    name="hotspot",
+    app="kvstore",
+    description="one tenant's Zipf-hot clients pinned to a single "
+                "kvstore initiator host at several times its admission "
+                "capacity; background tenant spread fleet-wide",
+    n_processes=8,
+    scale="small",
+    start_ns=50_000,
+    horizon_ns=600_000,
+    drain_ns=1_500_000,
+    shards=2,
+    admission=AdmissionConfig(max_inflight=4, queue_limit=16,
+                              op_timeout_ns=2_000_000),
+    tenants=(
+        TenantSpec(
+            name="hot",
+            curve=RateCurve.constant(900_000.0),
+            n_clients=2_000_000,
+            rate_class=RATE_CLASSES["standard"],
+            key_space=10_000,
+            write_fraction=0.5,
+            initiators=(0,),
+        ),
+        TenantSpec(
+            name="background",
+            curve=RateCurve.constant(320_000.0),
+            n_clients=5_000_000,
+            rate_class=RATE_CLASSES["premium"],
+            key_space=200_000,
+            write_fraction=0.3,
+        ),
+    ),
+)
+
+_FLASH_CROWD = ScenarioSpec(
+    name="flash_crowd",
+    app="hashtable",
+    description="hashtable fleet at a quiet baseline hit by a linear "
+                "ramp to a plateau several times fleet capacity, over "
+                "a diurnal steady tenant",
+    n_processes=8,
+    scale="small",
+    start_ns=50_000,
+    horizon_ns=600_000,
+    drain_ns=1_500_000,
+    shards=2,
+    admission=AdmissionConfig(max_inflight=4, queue_limit=12,
+                              op_timeout_ns=2_000_000),
+    tenants=(
+        TenantSpec(
+            name="crowd",
+            curve=RateCurve.flash_crowd(
+                base_ops_per_s=60_000.0,
+                peak_ops_per_s=2_600_000.0,
+                start_ns=120_000,
+                ramp_ns=80_000,
+                hold_ns=350_000,
+            ),
+            n_clients=3_000_000,
+            rate_class=RATE_CLASSES["free"],
+            key_space=50_000,
+            write_fraction=0.6,
+        ),
+        TenantSpec(
+            name="steady",
+            curve=RateCurve.diurnal(
+                base_ops_per_s=50_000.0,
+                peak_ops_per_s=150_000.0,
+                period_ns=300_000,
+                duration_ns=650_000,
+            ),
+            n_clients=1_000_000,
+            rate_class=RATE_CLASSES["standard"],
+            key_space=100_000,
+            write_fraction=0.4,
+        ),
+    ),
+)
+
+_RETRY_STORM = ScenarioSpec(
+    name="retry_storm",
+    app="replication",
+    description="aggressive rate-class tenant (minimal backoff, deep "
+                "retry budget) against a tiny admission queue on the "
+                "replicated log: rejects feed retries; backoff must "
+                "converge",
+    n_processes=8,
+    scale="small",
+    start_ns=50_000,
+    horizon_ns=400_000,
+    drain_ns=2_000_000,
+    shards=2,
+    admission=AdmissionConfig(max_inflight=2, queue_limit=4,
+                              op_timeout_ns=2_000_000),
+    tenants=(
+        TenantSpec(
+            name="storm",
+            curve=RateCurve.constant(1_600_000.0),
+            n_clients=4_000_000,
+            rate_class=RATE_CLASSES["aggressive"],
+            key_space=20_000,
+            write_fraction=1.0,
+        ),
+        TenantSpec(
+            name="victim",
+            curve=RateCurve.constant(120_000.0),
+            n_clients=500_000,
+            rate_class=RATE_CLASSES["premium"],
+            key_space=50_000,
+            write_fraction=1.0,
+        ),
+    ),
+)
+
+SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec for spec in (_HOTSPOT, _FLASH_CROWD, _RETRY_STORM)
+}
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {name!r} (have {sorted(SCENARIOS)})"
+        )
+    return SCENARIOS[name]

@@ -1,0 +1,90 @@
+"""Tenant model: who sends, how fast, and what happens on rejection.
+
+A :class:`TenantSpec` describes one tenant as a *population*, not a set
+of simulated objects: ``n_clients`` logical clients (millions are fine
+— a client is just a Zipf-ranked identity sampled per arrival, O(1)
+state) share a :class:`repro.workload.generators.RateCurve` of
+aggregate offered load.  Client popularity within the tenant and key
+popularity within the tenant's key space are both Zipfian, so hot
+clients and hot keys emerge naturally.
+
+A :class:`RateClass` carries the tenant's retry contract: how many
+times a rejected operation is retried and with what exponential
+backoff.  Jitter is drawn from a named ``sim.randomness`` stream per
+tenant, so retry storms are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.workload.generators import RateCurve
+
+__all__ = ["RATE_CLASSES", "RateClass", "TenantSpec"]
+
+
+@dataclass(frozen=True)
+class RateClass:
+    """Retry/backoff contract for one tenant tier."""
+
+    name: str
+    max_retries: int
+    backoff_base_ns: int
+    backoff_cap_ns: int
+
+    def backoff_ns(self, attempt: int, jitter: int) -> int:
+        """Deterministic exponential backoff with caller-supplied jitter
+        (drawn from the tenant's named retry stream)."""
+        base = min(self.backoff_cap_ns, self.backoff_base_ns << attempt)
+        return base + jitter
+
+
+# The three tiers the scenarios use.  "aggressive" models a buggy or
+# adversarial client fleet: many fast retries with little backoff — the
+# raw material of a retry storm.
+RATE_CLASSES: Dict[str, RateClass] = {
+    "free": RateClass("free", max_retries=1,
+                      backoff_base_ns=50_000, backoff_cap_ns=400_000),
+    "standard": RateClass("standard", max_retries=3,
+                          backoff_base_ns=20_000, backoff_cap_ns=200_000),
+    "premium": RateClass("premium", max_retries=5,
+                         backoff_base_ns=10_000, backoff_cap_ns=100_000),
+    "aggressive": RateClass("aggressive", max_retries=8,
+                            backoff_base_ns=2_000, backoff_cap_ns=16_000),
+}
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic description."""
+
+    name: str
+    curve: RateCurve
+    n_clients: int
+    rate_class: RateClass
+    client_theta: float = 0.99      # Zipf skew of client activity
+    key_space: int = 100_000        # tenant-private key range
+    key_theta: float = 0.99         # Zipf skew of key popularity
+    write_fraction: float = 0.5
+    # Restrict this tenant's initiators to these indices into the app's
+    # client-process list (None = spread over all of them).  A single
+    # index is how the hotspot scenario pins a tenant to one host.
+    initiators: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ValueError(f"tenant {self.name}: n_clients must be >= 1")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError(f"tenant {self.name}: bad write_fraction")
+
+    def describe(self) -> Dict[str, object]:
+        """Reproducible knob summary for the scenario report."""
+        return {
+            "n_clients": self.n_clients,
+            "rate_class": self.rate_class.name,
+            "peak_ops_per_s": self.curve.peak(),
+            "key_space": self.key_space,
+            "write_fraction": self.write_fraction,
+            "initiators": list(self.initiators) if self.initiators else None,
+        }

@@ -91,7 +91,10 @@ class TestDeterminism:
 
         registry = suite_registry("scale")
         assert "fattree_k8_h128" in registry
-        assert all(name.startswith("fattree_") for name in registry)
+        assert "workload_overload" in registry
+        assert all(
+            name.startswith(("fattree_", "workload_")) for name in registry
+        )
         with pytest.raises(ValueError, match="unknown suite"):
             suite_registry("bogus")
 
