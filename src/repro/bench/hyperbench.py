@@ -1,0 +1,69 @@
+"""Hyperscale suite: hybrid-fidelity end-to-end runs at k=8..k=32.
+
+One benchmark per committed :data:`repro.hybrid.engine.SCENARIOS`
+entry.  The metrics section is fully deterministic (it is drawn from
+the ``repro.hybrid/1`` report, which is byte-identical across runs and
+worker counts); only the wall-clock rates vary by machine, exactly as
+in the core/scale suites.  ``scale`` shortens the windowed horizon for
+CI smoke runs.
+
+The committed ``BENCH_hyperscale.json`` is the trajectory file ROADMAP
+item 2 asks for: events/sec and simulated-ns/sec of the hot island,
+modeled host count of the whole hybrid fabric, and the shard count the
+cold fabric ran with.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable, Dict
+
+from repro.bench.microbench import BenchResult
+from repro.hybrid.engine import SCENARIOS, run_hyperscale
+
+# Floor so a smoke ``--scale 0.05`` still exercises multiple barriers
+# (and the cross-shard event path) in every scenario.
+MIN_WINDOWS = 20
+
+
+def bench_hyperscale(name: str, seed: int, scale: float) -> BenchResult:
+    scenario = SCENARIOS[name]
+    scenario = replace(
+        scenario,
+        seed=seed,
+        windows=max(MIN_WINDOWS, int(scenario.windows * scale)),
+    )
+    start = time.perf_counter()
+    report = run_hyperscale(scenario, workers=1)
+    wall = time.perf_counter() - start
+    island = report["island"]
+    fidelity = report["fidelity"]
+    metrics = {
+        "modeled_hosts": report["modeled_hosts"],
+        "modeled_links": report["modeled_links"],
+        "island_hosts": island["hosts"],
+        "island_events": island["events_processed"],
+        "island_deliveries": island["deliveries"],
+        "oracle_divergences": island["oracle_divergences"],
+        "shards": fidelity["hybrid.pods_cold"],
+        "cross_shard_events": fidelity["hybrid.cross_shard_events"],
+        "windows": fidelity["hybrid.windows"],
+        "sim_now_ns": island["sim_now_ns"],
+    }
+    rates = {
+        "events_per_sec": island["events_processed"] / wall,
+        "simulated_ns_per_sec": island["sim_now_ns"] / wall,
+        # Scale headline: modeled fabric nanosecond-hosts per wall second.
+        "host_ns_per_sec": report["modeled_hosts"] * island["sim_now_ns"] / wall,
+    }
+    return BenchResult(name, wall, metrics, rates)
+
+
+def _make(name: str) -> Callable[[int, float], BenchResult]:
+    return lambda seed, scale: bench_hyperscale(name, seed, scale)
+
+
+HYPERSCALE_BENCHMARKS: Dict[str, Callable[[int, float], BenchResult]] = {
+    name: _make(name) for name in sorted(SCENARIOS)
+}

@@ -36,7 +36,11 @@ from repro.sim import Simulator
 BENCH_SCHEMA_VERSION = 1
 DEFAULT_OUT = "BENCH_core.json"
 # Default report path per suite (the committed baselines at the repo root).
-SUITE_OUT = {"core": "BENCH_core.json", "scale": "BENCH_scale.json"}
+SUITE_OUT = {
+    "core": "BENCH_core.json",
+    "scale": "BENCH_scale.json",
+    "hyperscale": "BENCH_hyperscale.json",
+}
 
 
 class BenchResult:
@@ -360,6 +364,10 @@ def suite_registry(suite: str) -> Dict[str, Callable[[int, float], BenchResult]]
         from repro.bench.scalebench import SCALE_BENCHMARKS
 
         return SCALE_BENCHMARKS
+    if suite == "hyperscale":
+        from repro.bench.hyperbench import HYPERSCALE_BENCHMARKS
+
+        return HYPERSCALE_BENCHMARKS
     raise ValueError(f"unknown suite {suite!r}; available: {sorted(SUITE_OUT)}")
 
 

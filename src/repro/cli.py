@@ -324,6 +324,55 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_hyperscale(args) -> int:
+    from dataclasses import replace
+
+    from repro.hybrid import SCENARIOS, run_hyperscale
+    from repro.obs.export import write_json
+
+    if args.list:
+        for name, scenario in sorted(SCENARIOS.items()):
+            print(f"{name:12s} k={scenario.k:3d}  "
+                  f"hosts={scenario.descriptor().n_hosts:6d}  "
+                  f"hot_pods={scenario.hot_pods}  windows={scenario.windows}")
+        return 0
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; "
+              f"available: {', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+        return 2
+    scenario = SCENARIOS[args.scenario]
+    overrides = {"seed": args.seed}
+    if args.windows is not None:
+        overrides["windows"] = args.windows
+    scenario = replace(scenario, **overrides)
+
+    report = run_hyperscale(scenario, workers=args.workers)
+    out = args.out or f"results/hyperscale_{scenario.name}.json"
+    write_json(report, out)
+
+    island = report["island"]
+    fidelity = report["fidelity"]
+    print(f"hyperscale {scenario.name}: k={scenario.k}, "
+          f"{report['modeled_hosts']} modeled hosts, seed={scenario.seed}")
+    print(f"  fidelity: {fidelity['hybrid.pods_hot']} hot / "
+          f"{fidelity['hybrid.pods_cold']} cold pods "
+          f"({fidelity['hybrid.links_hot']}/{fidelity['hybrid.links_cold']} "
+          f"links), {fidelity['hybrid.passes']} passes, "
+          f"promotions w/f/b = {fidelity['hybrid.promotions_watched']}/"
+          f"{fidelity['hybrid.promotions_fault']}/"
+          f"{fidelity['hybrid.promotions_backpressure']}")
+    print(f"  sharding: {fidelity['hybrid.windows']} windows, "
+          f"{fidelity['hybrid.cross_shard_events']} cross-shard events, "
+          f"{fidelity['hybrid.lookahead_stalls']} lookahead stalls")
+    print(f"  island: {island['hosts']} hosts, "
+          f"{island['deliveries']} deliveries, "
+          f"mean {island['mean_delivery_ns']} ns, "
+          f"p99 {island['p99_delivery_ns']} ns, "
+          f"{island['oracle_divergences']} oracle divergences")
+    print(f"wrote {out}")
+    return 1 if island["oracle_divergences"] else 0
+
+
 def cmd_verify(args) -> int:
     from repro.onepipe.config import ALL_MODES, MODES
     from repro.verify import VerifyRunner, write_report
@@ -478,9 +527,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=argparse.SUPPRESS,
                        help="suite seed (overrides the global --seed)")
     bench.add_argument("--suite", default="core",
-                       choices=["core", "scale"],
+                       choices=["core", "scale", "hyperscale"],
                        help="core: kernel hot-path micro/macro benchmarks; "
-                            "scale: paper-scale fat-tree end-to-end runs")
+                            "scale: paper-scale fat-tree end-to-end runs; "
+                            "hyperscale: hybrid-fidelity k=8..k=32 runs")
     bench.add_argument("--scale", type=float, default=1.0,
                        help="work multiplier (0.05 for a CI smoke run)")
     bench.add_argument("--out", default=None,
@@ -541,6 +591,26 @@ def build_parser() -> argparse.ArgumentParser:
                           help="report path (default: "
                                "results/workload_<scenario>.json)")
 
+    hyperscale = sub.add_parser(
+        "hyperscale", help="hybrid-fidelity run: packet-level hot island "
+                           "+ flow-level cold fabric (10k+ modeled hosts)"
+    )
+    hyperscale.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                            help="scenario seed (overrides the global "
+                                 "--seed)")
+    hyperscale.add_argument("--scenario", default="k8_cold",
+                            help="scenario name (see --list)")
+    hyperscale.add_argument("--workers", type=int, default=1,
+                            help="cold-fabric shard workers (the report is "
+                                 "byte-identical for any worker count)")
+    hyperscale.add_argument("--windows", type=int, default=None,
+                            help="override the scenario's barrier count")
+    hyperscale.add_argument("--out", default=None,
+                            help="report path (default: "
+                                 "results/hyperscale_<scenario>.json)")
+    hyperscale.add_argument("--list", action="store_true",
+                            help="list scenarios and exit")
+
     verify = sub.add_parser(
         "verify", help="fuzzed episodes checked against the delivery-"
                        "contract reference oracle"
@@ -591,6 +661,7 @@ COMMANDS = {
     "bench": cmd_bench,
     "verify": cmd_verify,
     "workload": cmd_workload,
+    "hyperscale": cmd_hyperscale,
 }
 
 

@@ -1,0 +1,147 @@
+"""Per-pod fidelity map: which parts of the fabric run packet-level.
+
+Fidelity is tracked at pod granularity — a pod is the unit the sharded
+cold fabric partitions by, and links divide evenly among pods (each pod
+owns its internal links plus its core-attach stripes).  A pod is *hot*
+when anything makes its detail matter:
+
+- ``watched`` — it hosts a watched sender or receiver endpoint;
+- ``fault`` — a fault schedule touches a node or link inside it;
+- ``backpressure`` — the cold model itself reports admission-level
+  congestion (core utilization above the scenario threshold), meaning
+  the closed form is no longer trustworthy there.
+
+Promotion is monotone (hot pods never demote mid-run) and idempotent;
+the engine re-runs the cold fabric after backpressure promotions until
+a fixed point.  The :meth:`FidelityMap.digest` is the closed
+``hybrid.*`` metrics namespace embedded in hyperscale reports and
+policed by :func:`repro.obs.export.validate_metrics_report`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.net.topology import FatTreeDescriptor
+
+FIDELITY_HOT = "hot"
+FIDELITY_COLD = "cold"
+
+# Why a pod was promoted to packet fidelity (order = digest key order).
+PROMOTION_REASONS = ("watched", "fault", "backpressure")
+
+
+def pod_of_node(name: str, descriptor: FatTreeDescriptor) -> Optional[int]:
+    """Pod owning a fat-tree node or link id; None for shared core gear.
+
+    Accepts host ids (``h17``), switch ids (``tor2.1.up``,
+    ``spine3.0.down``), core ids (``core5`` → None — cores are shared
+    and the hot island always models them), and link ids of the form
+    ``src->dst`` (resolved to the first pod-owned endpoint).
+    """
+    if "->" in name:
+        for part in name.split("->"):
+            pod = pod_of_node(part, descriptor)
+            if pod is not None:
+                return pod
+        return None
+    if name.startswith("h"):
+        try:
+            index = int(name[1:])
+        except ValueError:
+            return None
+        return index // descriptor.hosts_per_pod
+    for prefix in ("tor", "spine"):
+        if name.startswith(prefix):
+            head = name[len(prefix):].split(".", 1)[0]
+            try:
+                return int(head)
+            except ValueError:
+                return None
+    return None
+
+
+class FidelityMap:
+    """Hot/cold assignment of a fat-tree's pods, with promotion history."""
+
+    def __init__(
+        self,
+        descriptor: FatTreeDescriptor,
+        hot_pods: Iterable[int] = (),
+    ) -> None:
+        self.descriptor = descriptor
+        self._fidelity: Dict[int, str] = {
+            pod: FIDELITY_COLD for pod in range(descriptor.n_pods)
+        }
+        self.promotions: Dict[str, int] = {r: 0 for r in PROMOTION_REASONS}
+        for pod in sorted(set(hot_pods)):
+            self.promote(pod, "watched")
+
+    # ------------------------------------------------------------------
+    def fidelity(self, pod: int) -> str:
+        return self._fidelity[pod]
+
+    def promote(self, pod: int, reason: str) -> bool:
+        """Raise ``pod`` to packet fidelity; False if it already was hot."""
+        if reason not in PROMOTION_REASONS:
+            raise ValueError(
+                f"unknown promotion reason {reason!r}, "
+                f"expected one of {PROMOTION_REASONS}"
+            )
+        if self._fidelity[pod] == FIDELITY_HOT:
+            return False
+        self._fidelity[pod] = FIDELITY_HOT
+        self.promotions[reason] += 1
+        return True
+
+    def promote_fault_targets(self, targets: Iterable[str]) -> Tuple[int, ...]:
+        """Promote every pod a fault schedule touches (tentpole rule:
+        a link under chaos never runs cold).  Returns pods newly hot."""
+        newly = []
+        for target in targets:
+            pod = pod_of_node(target, self.descriptor)
+            if pod is not None and self.promote(pod, "fault"):
+                newly.append(pod)
+        return tuple(newly)
+
+    # ------------------------------------------------------------------
+    @property
+    def hot_pods(self) -> Tuple[int, ...]:
+        return tuple(
+            p for p in sorted(self._fidelity)
+            if self._fidelity[p] == FIDELITY_HOT
+        )
+
+    @property
+    def cold_pods(self) -> Tuple[int, ...]:
+        return tuple(
+            p for p in sorted(self._fidelity)
+            if self._fidelity[p] == FIDELITY_COLD
+        )
+
+    @property
+    def links_per_pod(self) -> int:
+        # Every link class scales per pod (internal loopbacks, tor<->spine,
+        # host attach, core stripes), so the total divides evenly.
+        return self.descriptor.n_links // self.descriptor.n_pods
+
+    @property
+    def links_hot(self) -> int:
+        return len(self.hot_pods) * self.links_per_pod
+
+    @property
+    def links_cold(self) -> int:
+        return len(self.cold_pods) * self.links_per_pod
+
+    # ------------------------------------------------------------------
+    def digest(self) -> Dict[str, int]:
+        """The closed ``hybrid.*`` fidelity counters (sorted keys)."""
+        return {
+            "hybrid.links_cold": self.links_cold,
+            "hybrid.links_hot": self.links_hot,
+            "hybrid.pods_cold": len(self.cold_pods),
+            "hybrid.pods_hot": len(self.hot_pods),
+            "hybrid.promotions_backpressure": self.promotions["backpressure"],
+            "hybrid.promotions_fault": self.promotions["fault"],
+            "hybrid.promotions_watched": self.promotions["watched"],
+        }

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 
 from repro.clock import ClockSyncService, SkewModel
-from repro.net.link import Link
+from repro.net.link import Link, gbps_to_bytes_per_ns
 from repro.net.nic import Host
 from repro.net.routing import compute_routes
 from repro.net.switch import Switch
@@ -51,6 +51,171 @@ class TopologyParams:
     @property
     def n_hosts(self) -> int:
         return self.n_pods * self.tors_per_pod * self.hosts_per_tor
+
+
+@dataclass(frozen=True)
+class FatTreeDescriptor:
+    """Closed-form description of a fat-tree — no objects, no simulator.
+
+    The hyperscale hybrid mode (:mod:`repro.hybrid`) models topologies of
+    10k–1M hosts whose cold regions are never instantiated; everything it
+    needs about them — counts, hop distances, path latencies, beacon-wave
+    bounds — is a pure function of the :class:`TopologyParams` geometry.
+    The descriptor computes those functions with the *same constants* the
+    event-level builder uses, so a closed-form latency equals what a
+    packet would measure on the idle instantiated topology (asserted by
+    ``tests/hybrid/test_flow_model.py``).
+    """
+
+    params: TopologyParams
+
+    @property
+    def n_pods(self) -> int:
+        return self.params.n_pods
+
+    @property
+    def n_hosts(self) -> int:
+        return self.params.n_hosts
+
+    @property
+    def hosts_per_pod(self) -> int:
+        return self.params.tors_per_pod * self.params.hosts_per_tor
+
+    @property
+    def n_switches(self) -> int:
+        """Logical switches: up/down halves per ToR and spine, plus cores."""
+        params = self.params
+        return (
+            2 * params.n_pods * (params.tors_per_pod + params.spines_per_pod)
+            + params.n_cores
+        )
+
+    @property
+    def n_links(self) -> int:
+        """Directed links, internal loopbacks included (builder parity)."""
+        params = self.params
+        per_pod = (
+            params.spines_per_pod                      # spine loopbacks
+            + params.tors_per_pod                      # tor loopbacks
+            + 2 * params.tors_per_pod * params.spines_per_pod  # tor<->spine
+            + 2 * params.tors_per_pod * params.hosts_per_tor   # host links
+        )
+        core = 2 * params.n_pods * params.n_cores      # spine<->core striping
+        return params.n_pods * per_pod + core
+
+    @property
+    def n_external_links(self) -> int:
+        """Physical (non-loopback) directed links."""
+        params = self.params
+        return self.n_links - params.n_pods * (
+            params.spines_per_pod + params.tors_per_pod
+        )
+
+    # ------------------------------------------------------------------
+    # Closed-form path latency (idle network, zero queueing)
+    # ------------------------------------------------------------------
+    def switch_hops(self, same_rack: bool, same_pod: bool) -> int:
+        """Physical switch traversals on a shortest path (paper 1/3/5)."""
+        if same_rack:
+            return 1
+        return 3 if same_pod else 5
+
+    def idle_path_ns(
+        self, payload_bytes: int, same_rack: bool = False,
+        same_pod: bool = False,
+    ) -> int:
+        """One-way latency of a single packet on an idle shortest path.
+
+        NIC delay + per-link serialization and propagation + one
+        forwarding delay per physical switch traversal — exactly the
+        constants :func:`build_fat_tree` wires into hosts, links and
+        switches.  Serialization is charged per hop (store-and-forward).
+        """
+        params = self.params
+        hops = self.switch_hops(same_rack, same_pod)
+        n_links = hops + 1
+        wire = payload_bytes
+        host_ser = int(wire / gbps_to_bytes_per_ns(params.host_link_gbps))
+        fabric_ser = int(wire / gbps_to_bytes_per_ns(params.fabric_link_gbps))
+        core_ser = int(
+            wire / (
+                gbps_to_bytes_per_ns(params.fabric_link_gbps)
+                / params.oversubscription
+            )
+        )
+        if hops == 1:
+            ser = 2 * host_ser
+        elif hops == 3:
+            ser = 2 * host_ser + 2 * fabric_ser
+        else:
+            ser = 2 * host_ser + 2 * fabric_ser + 2 * core_ser
+        return (
+            params.nic_delay_ns
+            + ser
+            + n_links * params.link_prop_delay_ns
+            + hops * params.forwarding_delay_ns
+        )
+
+    @property
+    def cross_pod_lookahead_ns(self) -> int:
+        """Conservative lookahead for pod-sharded simulation.
+
+        The minimum simulated time in which *anything* leaving one pod
+        can influence another: a minimal (header-only) packet crossing
+        the inter-pod path.  Space-sharded windows no longer than this
+        can exchange cross-shard events at window barriers without ever
+        needing an event from the current window (repro.parallel
+        ``run_sharded``).
+        """
+        from repro.net.packet import HEADER_OVERHEAD_BYTES
+
+        return self.idle_path_ns(
+            HEADER_OVERHEAD_BYTES, same_rack=False, same_pod=False
+        ) - self.params.nic_delay_ns  # NIC egress happens pod-locally
+
+    def beacon_wave_bound_ns(self) -> int:
+        """Upper bound on one beacon wave crossing a pod to the core.
+
+        Host → ToR → spine → core: the longest leg of the §4.2 barrier
+        wave that a cold pod contributes to the cluster-wide commit
+        floor.  Closed-form twin of the event-level beacon path (same
+        serialization/propagation/forwarding constants).
+        """
+        from repro.net.packet import BEACON_BYTES
+
+        params = self.params
+        host_ser = int(BEACON_BYTES / gbps_to_bytes_per_ns(params.host_link_gbps))
+        fabric_ser = int(
+            BEACON_BYTES / gbps_to_bytes_per_ns(params.fabric_link_gbps)
+        )
+        core_ser = int(
+            BEACON_BYTES / (
+                gbps_to_bytes_per_ns(params.fabric_link_gbps)
+                / params.oversubscription
+            )
+        )
+        return (
+            host_ser + fabric_ser + core_ser
+            + 3 * params.link_prop_delay_ns
+            + 3 * params.forwarding_delay_ns
+        )
+
+
+def fat_tree_descriptor(k: int, hosts_per_tor: int = 0) -> FatTreeDescriptor:
+    """Descriptor for a classic k-ary fat-tree (k pods, (k/2)^2 cores,
+    k/2 ToR + k/2 spine switches per pod, ``hosts_per_tor`` defaulting
+    to the canonical k/2).  Mirrors ``repro.bench.scalebench
+    .fat_tree_params`` without importing the bench layer."""
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree k must be even and >= 2: {k}")
+    radix = k // 2
+    return FatTreeDescriptor(TopologyParams(
+        n_pods=k,
+        tors_per_pod=radix,
+        spines_per_pod=radix,
+        n_cores=radix * radix,
+        hosts_per_tor=hosts_per_tor or radix,
+    ))
 
 
 class Topology:
@@ -193,8 +358,18 @@ class Topology:
         return [pool[i % len(pool)] for i in range(n_procs)]
 
 
-def build_fat_tree(sim: Simulator, params: Optional[TopologyParams] = None) -> Topology:
-    """Build a pods/spines/cores fat-tree with logical up/down switches."""
+def build_fat_tree(
+    sim: Simulator,
+    params: Optional[TopologyParams] = None,
+    install_routes: bool = True,
+) -> Topology:
+    """Build a pods/spines/cores fat-tree with logical up/down switches.
+
+    ``install_routes=False`` skips the per-host routing BFS — used by
+    construction-invariant tests on very large geometries (k=32: 8k+
+    hosts), where the counts and wiring are the properties under test
+    and the full route computation would dominate the suite's runtime.
+    """
     params = params or TopologyParams()
     if params.n_cores % params.spines_per_pod != 0 and params.n_pods > 1:
         raise ValueError(
@@ -242,7 +417,8 @@ def build_fat_tree(sim: Simulator, params: Optional[TopologyParams] = None) -> T
                 host.set_uplink(up_link)
                 host.set_downlink(down_link)
 
-    compute_routes(topo.graph, topo.hosts)
+    if install_routes:
+        compute_routes(topo.graph, topo.hosts)
     return topo
 
 

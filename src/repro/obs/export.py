@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "KNOWN_BYZ_METRICS",
+    "KNOWN_HYBRID_METRICS",
     "KNOWN_WORKLOAD_METRICS",
     "METRICS_SCHEMA",
     "WORKLOAD_TENANT_COUNTERS",
@@ -80,6 +81,25 @@ WORKLOAD_TENANT_COUNTERS = frozenset({
 })
 WORKLOAD_TENANT_HISTOGRAMS = frozenset({"delivery_lag_ns"})
 KNOWN_WORKLOAD_HISTOGRAMS = frozenset({"workload.queue_wait_ns"})
+
+# The hybrid-fidelity counters (docs/HYPERSCALE.md).  Same closure
+# rationale again: the hyperscale-smoke CI job compares reports
+# byte-for-byte, so the ``hybrid.`` namespace admits only the digest
+# keys :meth:`repro.hybrid.fidelity.FidelityMap.digest` and the engine
+# emit.
+KNOWN_HYBRID_METRICS = frozenset({
+    "hybrid.cross_shard_events",    # run_sharded: barrier-exchanged events
+    "hybrid.links_cold",            # fidelity map: flow-level links
+    "hybrid.links_hot",             # fidelity map: packet-level links
+    "hybrid.lookahead_stalls",      # run_sharded: empty-inbox barriers
+    "hybrid.passes",                # engine: fidelity fixed-point passes
+    "hybrid.pods_cold",
+    "hybrid.pods_hot",
+    "hybrid.promotions_backpressure",  # cold pods gone hot: sustained util
+    "hybrid.promotions_fault",         # cold pods gone hot: fault schedule
+    "hybrid.promotions_watched",       # hot from the start: watched endpoints
+    "hybrid.windows",               # cold-fabric barriers executed
+})
 
 
 def _workload_name_problem(name: str, kind: str) -> Optional[str]:
@@ -219,6 +239,15 @@ def validate_metrics_report(report: Any) -> List[str]:
                     problem = _workload_name_problem(name, "counter")
                     if problem is not None:
                         problems.append(problem)
+                if (
+                    isinstance(name, str)
+                    and name.startswith("hybrid.")
+                    and name not in KNOWN_HYBRID_METRICS
+                ):
+                    problems.append(
+                        f"counter {name!r} not a registered hybrid.* metric "
+                        f"(see KNOWN_HYBRID_METRICS)"
+                    )
         histograms = metrics.get("histograms")
         if isinstance(histograms, dict):
             for name, hist in histograms.items():

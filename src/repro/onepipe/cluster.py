@@ -40,6 +40,7 @@ class OnePipeCluster:
         enable_controller: bool = True,
         replicator=None,
         start_clock_sync: bool = True,
+        placement: Optional[List[str]] = None,
     ) -> None:
         self.sim = sim
         self.config = config or OnePipeConfig()
@@ -78,9 +79,22 @@ class OnePipeCluster:
             if self.controller is not None:
                 self.controller.register_agent(agent)
 
-        # Process placement per the paper's methodology (§7.1).
+        # Process placement per the paper's methodology (§7.1), unless
+        # the caller pins endpoints to explicit hosts (``placement`` is a
+        # host id per process slot — the hybrid engine uses it to spread
+        # watched endpoints across the hot pods).
         self.endpoints: List[OnePipeEndpoint] = []
-        for proc_id, host in enumerate(self.topology.assign_hosts(n_processes)):
+        if placement is not None:
+            if len(placement) != n_processes:
+                raise ValueError(
+                    f"placement names {len(placement)} hosts for "
+                    f"{n_processes} processes"
+                )
+            by_id = {host.node_id: host for host in self.topology.hosts}
+            placed = [by_id[node_id] for node_id in placement]
+        else:
+            placed = self.topology.assign_hosts(n_processes)
+        for proc_id, host in enumerate(placed):
             endpoint = OnePipeEndpoint(
                 self.agents[host.node_id], proc_id, self.config
             )

@@ -1,0 +1,74 @@
+"""Fidelity map: promotion semantics, pod parsing, digest closure."""
+
+import pytest
+
+from repro.hybrid.fidelity import (
+    FIDELITY_COLD,
+    FIDELITY_HOT,
+    FidelityMap,
+    pod_of_node,
+)
+from repro.net.topology import fat_tree_descriptor
+from repro.obs.export import KNOWN_HYBRID_METRICS
+
+DESC = fat_tree_descriptor(8)
+
+
+class TestPodOfNode:
+    @pytest.mark.parametrize("name,pod", [
+        ("h0", 0),
+        ("h15", 0),
+        ("h16", 1),
+        ("h127", 7),
+        ("tor3.1.up", 3),
+        ("spine5.2.down", 5),
+        ("core7", None),
+        ("tor2.0.up->spine2.1.up", 2),
+        ("core3->spine6.3.down", 6),
+        ("h9->tor0.2.up", 0),
+        ("bogus", None),
+    ])
+    def test_parse(self, name, pod):
+        assert pod_of_node(name, DESC) == pod
+
+
+class TestFidelityMap:
+    def test_initial_watched_pods_hot(self):
+        fmap = FidelityMap(DESC, hot_pods=(0, 1))
+        assert fmap.hot_pods == (0, 1)
+        assert fmap.cold_pods == tuple(range(2, 8))
+        assert fmap.promotions["watched"] == 2
+        assert fmap.fidelity(0) == FIDELITY_HOT
+        assert fmap.fidelity(5) == FIDELITY_COLD
+
+    def test_promotion_is_monotone_and_idempotent(self):
+        fmap = FidelityMap(DESC, hot_pods=(0,))
+        assert fmap.promote(4, "backpressure") is True
+        assert fmap.promote(4, "backpressure") is False
+        assert fmap.promote(4, "fault") is False
+        assert fmap.promotions == {
+            "watched": 1, "fault": 0, "backpressure": 1,
+        }
+
+    def test_unknown_reason_rejected(self):
+        fmap = FidelityMap(DESC)
+        with pytest.raises(ValueError):
+            fmap.promote(0, "vibes")
+
+    def test_fault_targets_promote_their_pods(self):
+        fmap = FidelityMap(DESC, hot_pods=(0,))
+        newly = fmap.promote_fault_targets(
+            ["tor5.0.up", "h20", "core3", "tor5.1.down"]
+        )
+        assert newly == (5, 1)          # core is shared; tor5 once
+        assert fmap.promotions["fault"] == 2
+
+    def test_link_accounting_sums_to_descriptor(self):
+        fmap = FidelityMap(DESC, hot_pods=(0, 1, 2))
+        assert fmap.links_hot + fmap.links_cold == DESC.n_links
+        assert fmap.links_hot == 3 * fmap.links_per_pod
+
+    def test_digest_stays_inside_closed_namespace(self):
+        fmap = FidelityMap(DESC, hot_pods=(0,))
+        for name in fmap.digest():
+            assert name in KNOWN_HYBRID_METRICS

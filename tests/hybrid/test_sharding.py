@@ -1,0 +1,142 @@
+"""run_sharded: worker-count invariance, lookahead stalls, failure paths.
+
+The toy model here is deliberately order-sensitive: each shard hashes
+its inbox into its running state, so any deviation in event routing
+order or window synchronization across worker counts changes the
+outputs.  Byte-identity of the outputs across ``workers`` values is
+therefore a real test of the barrier discipline, not a vacuous one.
+"""
+
+import os
+
+import pytest
+
+from repro.hybrid.fabric import ColdFabricConfig, run_cold_fabric
+from repro.parallel import ParallelWorkerError, run_sharded
+
+
+# ----------------------------------------------------------------------
+# Toy order-sensitive shard model (module-level for picklability)
+# ----------------------------------------------------------------------
+def _toy_init(shard_id):
+    return {"id": shard_id, "acc": shard_id * 1000}
+
+
+def _toy_step(state, window, inbox):
+    # Fold the inbox *in order* — reordering changes acc.
+    for event in inbox:
+        state["acc"] = state["acc"] * 31 + event
+    state["acc"] += window
+    out = state["acc"]
+    # Each shard sends its current acc to the next shard (ring).
+    outbox = [((state["id"] + 1) % 4, out % 97)]
+    return out, outbox
+
+
+def _crashy_init(shard_id):
+    return shard_id
+
+
+def _crashy_step(state, window, inbox):
+    if state == 2 and window == 1:
+        os._exit(13)
+    return window, []
+
+
+def _raisy_step(state, window, inbox):
+    if state == 1 and window == 2:
+        raise RuntimeError("cold pod exploded")
+    return window, []
+
+
+def _stray_step(state, window, inbox):
+    return window, [(99, "event")]
+
+
+class TestRunSharded:
+    def test_outputs_identical_across_worker_counts(self):
+        runs = [
+            run_sharded(list(range(4)), _toy_init, _toy_step, 6, workers=w)
+            for w in (1, 2, 3, 4)
+        ]
+        baseline_out, baseline_stats = runs[0]
+        for out, stats in runs[1:]:
+            assert out == baseline_out
+            assert stats.as_dict() == baseline_stats.as_dict()
+        # The ring exchanged one event per shard per window (none land
+        # in window 0's inboxes, so stalls are zero after warm-up).
+        assert baseline_stats.cross_shard_events == 4 * 6
+        assert baseline_stats.lookahead_stalls == 0
+
+    def test_lookahead_stalls_counted(self):
+        def silent_step(state, window, inbox):
+            return window, []
+
+        _, stats = run_sharded([0, 1], _toy_init, silent_step, 5, workers=1)
+        # Every post-warm-up barrier finds both inboxes empty.
+        assert stats.lookahead_stalls == 2 * 4
+
+    def test_zero_windows_or_no_shards(self):
+        out, stats = run_sharded([], _toy_init, _toy_step, 5)
+        assert out == {}
+        out, stats = run_sharded([0], _toy_init, _toy_step, 0)
+        assert out == {0: []}
+
+    def test_duplicate_shard_ids_rejected(self):
+        with pytest.raises(ValueError):
+            run_sharded([0, 0], _toy_init, _toy_step, 1)
+
+    def test_unknown_destination_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            run_sharded([0, 1], _toy_init, _stray_step, 2, workers=1)
+
+    def test_worker_crash_surfaces_clear_error(self):
+        with pytest.raises(ParallelWorkerError, match="died at window 1"):
+            run_sharded(
+                list(range(4)), _crashy_init, _crashy_step, 4, workers=2
+            )
+
+    def test_worker_exception_surfaces_with_context(self):
+        with pytest.raises(ParallelWorkerError, match="cold pod exploded"):
+            run_sharded(
+                list(range(4)), _crashy_init, _raisy_step, 4, workers=2
+            )
+
+
+class TestColdFabricSharding:
+    CONFIG = ColdFabricConfig(
+        seed=7,
+        n_hosts=1024,
+        window_ns=1886,
+        flows_per_window=16,
+        local_fraction_pct=70,
+        mean_flow_bytes=4096,
+        backpressure_threshold_milli=900,
+        cold_pods=tuple(range(2, 16)),
+        hot_pods=(0, 1),
+        core_uplinks=8,
+        # Floats on purpose: topology params carry gbps as floats, and
+        # the byte math must still come out pure-integer.
+        fabric_link_gbps=100.0,
+        host_link_gbps=100.0,
+    )
+
+    def test_fabric_outputs_identical_across_workers(self):
+        runs = [
+            run_cold_fabric(self.CONFIG, 40, workers=w, beacon_bound_ns=1068)
+            for w in (1, 2, 5)
+        ]
+        base_out, base_stats = runs[0]
+        for out, stats in runs[1:]:
+            assert out == base_out
+            assert stats.as_dict() == base_stats.as_dict()
+        assert base_stats.cross_shard_events > 0
+
+    def test_fabric_outputs_are_pure_integers(self):
+        outputs, _ = run_cold_fabric(
+            self.CONFIG, 5, workers=1, beacon_bound_ns=1068
+        )
+        for records in outputs.values():
+            for record in records:
+                for key, value in record.items():
+                    assert isinstance(value, int), (key, value)

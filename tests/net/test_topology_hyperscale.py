@@ -1,0 +1,149 @@
+"""Construction invariants of the k=16 / k=32 fat-tree geometries.
+
+The hyperscale hybrid mode never instantiates most of a k=32 fabric —
+it trusts the :class:`repro.net.topology.FatTreeDescriptor` closed
+forms.  These tests pin the descriptor to the event-level builder: the
+built k=16 tree matches every descriptor count, honors ECMP symmetry,
+and routes descend strictly; the k=32 build (routes skipped — the
+count/wiring properties are what's under test at that size) matches
+the descriptor too.
+"""
+
+import pytest
+
+from repro.net.topology import (
+    FatTreeDescriptor,
+    TopologyParams,
+    build_fat_tree,
+    fat_tree_descriptor,
+)
+from repro.sim import Simulator
+from tests.net.test_fat_tree_scale import assert_routes_descend_distance
+
+
+class TestDescriptor:
+    def test_classic_geometry(self):
+        desc = fat_tree_descriptor(16)
+        params = desc.params
+        assert params.n_pods == 16
+        assert params.tors_per_pod == params.spines_per_pod == 8
+        assert params.n_cores == 64
+        assert params.hosts_per_tor == 8
+        assert desc.n_hosts == 1024
+        assert desc.hosts_per_pod == 64
+
+    def test_k32_dense_racks_crosses_10k_hosts(self):
+        desc = fat_tree_descriptor(32, hosts_per_tor=20)
+        assert desc.n_hosts == 10240
+        assert desc.n_switches == 2304
+        assert desc.params.n_cores == 256
+
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_odd_or_tiny_k_rejected(self, k):
+        with pytest.raises(ValueError):
+            fat_tree_descriptor(k)
+
+    def test_switch_hops_match_paper_tiers(self):
+        desc = fat_tree_descriptor(16)
+        assert desc.switch_hops(same_rack=True, same_pod=True) == 1
+        assert desc.switch_hops(same_rack=False, same_pod=True) == 3
+        assert desc.switch_hops(same_rack=False, same_pod=False) == 5
+
+    def test_links_divide_evenly_by_pod(self):
+        for k in (8, 16, 32):
+            desc = fat_tree_descriptor(k)
+            assert desc.n_links % desc.n_pods == 0
+
+
+def _assert_counts_match_descriptor(topo, desc: FatTreeDescriptor):
+    assert len(topo.hosts) == desc.n_hosts
+    assert len(topo.switches) == desc.n_switches
+    assert len(topo.links) == desc.n_links
+
+
+class TestK16Build:
+    @pytest.fixture(scope="class")
+    def built(self):
+        desc = fat_tree_descriptor(16)
+        topo = build_fat_tree(Simulator(seed=7), desc.params)
+        return topo, desc
+
+    def test_counts_match_descriptor(self, built):
+        topo, desc = built
+        _assert_counts_match_descriptor(topo, desc)
+
+    def test_ecmp_symmetry_structural(self, built):
+        """Equal-cost multipath fan-out is uniform everywhere: every ToR
+        sees every spine of its pod, every spine sees its core stripe,
+        every core sees every pod exactly once, both directions."""
+        topo, desc = built
+        params = desc.params
+        out_links = {}
+        for link_id, link in topo.links.items():
+            if "->" not in link_id or link.internal:
+                continue
+            out_links.setdefault(link.src.node_id, []).append(link)
+        cores_per_spine = params.n_cores // params.spines_per_pod
+        for p in range(params.n_pods):
+            for t in range(params.tors_per_pod):
+                ups = [
+                    l for l in out_links[f"tor{p}.{t}.up"]
+                    if l.dst.node_id.startswith("spine")
+                ]
+                assert len(ups) == params.spines_per_pod
+                assert len({l.dst.node_id for l in ups}) == len(ups)
+            for s in range(params.spines_per_pod):
+                ups = [
+                    l for l in out_links[f"spine{p}.{s}.up"]
+                    if l.dst.node_id.startswith("core")
+                ]
+                assert len(ups) == cores_per_spine
+                # The stripe is deterministic: core c attaches to spine
+                # c % spines_per_pod in every pod.
+                for l in ups:
+                    c = int(l.dst.node_id[4:])
+                    assert c % params.spines_per_pod == s
+        for c in range(params.n_cores):
+            downs = out_links[f"core{c}"]
+            assert len(downs) == params.n_pods
+            pods = {int(l.dst.node_id[5:].split(".")[0]) for l in downs}
+            assert pods == set(range(params.n_pods))
+
+    def test_ecmp_route_candidates_uniform(self, built):
+        """Routes toward an out-of-pod host offer the full ECMP spread:
+        all spines at a ToR, the whole core stripe at a spine."""
+        topo, desc = built
+        params = desc.params
+        dst = topo.hosts[-1].node_id          # lives in the last pod
+        tor0 = topo.switches["tor0.0.up"]
+        assert len(tor0.routes[dst]) == params.spines_per_pod
+        spine0 = topo.switches["spine0.0.up"]
+        assert len(spine0.routes[dst]) == params.n_cores // params.spines_per_pod
+
+    def test_routes_descend_strictly(self, built):
+        topo, desc = built
+        per_pod = desc.hosts_per_pod
+        # Samples spanning racks and pods (first, mid, last).
+        sample = [
+            topo.hosts[0],
+            topo.hosts[per_pod - 1],
+            topo.hosts[per_pod * 7 + 3],
+            topo.hosts[-1],
+        ]
+        assert_routes_descend_distance(topo, sample)
+
+
+class TestK32Build:
+    def test_counts_match_descriptor_without_routes(self):
+        desc = fat_tree_descriptor(32, hosts_per_tor=20)
+        topo = build_fat_tree(
+            Simulator(seed=7), desc.params, install_routes=False
+        )
+        _assert_counts_match_descriptor(topo, desc)
+        assert not any(s.routes for s in topo.switches.values())
+
+    def test_descriptor_external_links_exclude_loopbacks(self):
+        desc = fat_tree_descriptor(32, hosts_per_tor=20)
+        params = desc.params
+        loopbacks = params.n_pods * (params.tors_per_pod + params.spines_per_pod)
+        assert desc.n_links - desc.n_external_links == loopbacks

@@ -3,6 +3,7 @@
 import json
 
 from repro.obs.export import (
+    KNOWN_HYBRID_METRICS,
     METRICS_SCHEMA,
     build_chrome_trace,
     build_metrics_report,
@@ -75,6 +76,20 @@ class TestMetricsReport:
 
     def test_non_dict_is_rejected(self):
         assert validate_metrics_report([]) == ["report is not an object"]
+
+    def test_registered_hybrid_counters_pass(self):
+        reg = _populated_registry()
+        for name in sorted(KNOWN_HYBRID_METRICS):
+            reg.counter(name).add(1)
+        report = build_metrics_report(reg)
+        assert validate_metrics_report(report) == []
+
+    def test_unregistered_hybrid_counter_rejected(self):
+        reg = _populated_registry()
+        reg.counter("hybrid.bogus").add(1)
+        report = build_metrics_report(reg)
+        problems = validate_metrics_report(report)
+        assert any("not a registered hybrid.*" in p for p in problems)
 
 
 class TestChromeTrace:

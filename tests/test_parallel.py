@@ -2,11 +2,13 @@
 byte-identity guarantee of --jobs on both campaign runners."""
 
 import json
+import os
+import threading
 
 import pytest
 
 from repro.chaos import CampaignRunner
-from repro.parallel import run_ordered
+from repro.parallel import ParallelWorkerError, run_ordered
 from repro.verify import VerifyRunner
 
 
@@ -18,6 +20,20 @@ def _fail_on_three(x):
     if x == 3:
         raise ValueError("boom")
     return x
+
+
+def _die_on_three(x):
+    if x == 3:
+        os._exit(42)          # hard crash: no exception, no cleanup
+    return x
+
+
+def _unpicklable(x):
+    return threading.Lock()   # cannot cross the process boundary
+
+
+def _unpicklable_on_three(x):
+    return threading.Lock() if x == 3 else x
 
 
 class TestRunOrdered:
@@ -44,6 +60,28 @@ class TestRunOrdered:
     def test_worker_exception_propagates(self):
         with pytest.raises(ValueError, match="boom"):
             run_ordered(_fail_on_three, [1, 2, 3], jobs=2)
+
+    def test_worker_crash_raises_instead_of_hanging(self):
+        """A worker process dying hard (os._exit, OOM-kill, segfault)
+        must surface as a clear error — the old Pool.imap merge loop
+        would block forever waiting for the lost result."""
+        with pytest.raises(ParallelWorkerError, match="died"):
+            run_ordered(_die_on_three, [1, 2, 3, 4], jobs=2)
+
+    def test_non_picklable_result_names_the_worker(self):
+        with pytest.raises(ParallelWorkerError, match="_unpicklable"):
+            run_ordered(_unpicklable, [1, 2], jobs=2)
+
+    def test_non_picklable_does_not_poison_earlier_results(self):
+        """Payloads merged before the failure still come through (the
+        error is raised at the failing payload's merge position)."""
+        merged = []
+        with pytest.raises(ParallelWorkerError):
+            run_ordered(
+                _unpicklable_on_three, [1, 2, 3, 4], jobs=2,
+                progress=merged.append,
+            )
+        assert merged == [1, 2]
 
 
 CHAOS_KNOBS = dict(
