@@ -8,22 +8,43 @@
 - :mod:`~repro.baselines.lamport` — Lamport logical timestamps with the
   classic per-interval timestamp-exchange optimization: a message is
   deliverable once every peer's clock passed its timestamp.
+- :mod:`~repro.baselines.epto` — EpTO epidemic total order: balls of
+  events gossiped for a TTL round bound, delivered by logical timestamp
+  once stable (probabilistic agreement, churn tolerant).
+- :mod:`~repro.baselines.switchpaxos` — in-network Paxos: a core-switch
+  coordinator stamps instances, spine/ToR acceptor engines accumulate an
+  f+1 quorum along the distribution path, hosts learn and nack holes.
 
-All three share the :class:`~repro.baselines.common.BroadcastGroup`
-interface, and all deliver a *total order* (verified by tests); they
-differ — as the paper argues — in how their throughput and latency scale
-with the number of processes.
+All five share the :class:`~repro.baselines.common.BroadcastGroup`
+interface; each is held to *its own* ordering contract
+(:mod:`~repro.baselines.contracts`), and the shootout runner
+(:mod:`~repro.baselines.shootout`) drives all of them — plus 1Pipe —
+through identical seeded chaos schedules (see docs/BASELINES.md).
 """
 
 from repro.baselines.common import BroadcastGroup, BroadcastMember
+from repro.baselines.contracts import (
+    PROTOCOL_CONTRACTS,
+    OrderingContract,
+    check_contract,
+)
+from repro.baselines.epto import EptoBroadcast
 from repro.baselines.lamport import LamportBroadcast
 from repro.baselines.sequencer import SequencerBroadcast
+from repro.baselines.shootout import ShootoutRunner
+from repro.baselines.switchpaxos import SwitchPaxosBroadcast
 from repro.baselines.token import TokenRingBroadcast
 
 __all__ = [
     "BroadcastGroup",
     "BroadcastMember",
+    "EptoBroadcast",
     "LamportBroadcast",
+    "OrderingContract",
+    "PROTOCOL_CONTRACTS",
     "SequencerBroadcast",
+    "ShootoutRunner",
+    "SwitchPaxosBroadcast",
     "TokenRingBroadcast",
+    "check_contract",
 ]

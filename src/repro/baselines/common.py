@@ -13,7 +13,11 @@ from repro.sim import Simulator
 # Delivery callback: fn(member_index, order_key, src_index, payload).
 DeliverCallback = Callable[[int, Any, int, Any], None]
 
-_PROC_IDS = itertools.count(10_000_000)
+# First proc id allocated inside a group.  Proc ids feed the ECMP flow
+# hash, so they must be a deterministic function of the group alone —
+# a process-global counter would make back-to-back runs in one process
+# route (and hence deliver) differently for the same seed.
+PROC_ID_BASE = 10_000_000
 
 
 class BroadcastMember:
@@ -29,7 +33,7 @@ class BroadcastMember:
         self.group = group
         self.index = index
         self.host = host
-        self.proc_id = next(_PROC_IDS)
+        self.proc_id = group.next_proc_id()
         self.messenger = Messenger(host, self.proc_id, cpu_ns_per_msg)
         self.delivered_count = 0
         self.delivered_log: Optional[List] = None  # set by tests
@@ -57,6 +61,10 @@ class BroadcastGroup:
             raise ValueError("a broadcast group needs at least 2 members")
         self.sim = sim
         self.topology = topology
+        # Subclasses that allocate helper processes (e.g. a sequencer)
+        # may have primed the counter before calling ``super().__init__``.
+        if not hasattr(self, "_proc_ids"):
+            self._proc_ids = itertools.count(PROC_ID_BASE)
         self.payload_bytes = payload_bytes
         self.deliver_callback: Optional[DeliverCallback] = None
         self.members: List[BroadcastMember] = []
@@ -64,6 +72,12 @@ class BroadcastGroup:
             member = self._make_member(index, host, cpu_ns_per_msg)
             self.members.append(member)
         self._wire()
+
+    def next_proc_id(self) -> int:
+        """Allocate a group-local process id (deterministic per group)."""
+        if not hasattr(self, "_proc_ids"):
+            self._proc_ids = itertools.count(PROC_ID_BASE)
+        return next(self._proc_ids)
 
     # Subclass hooks -----------------------------------------------------
     def _make_member(self, index: int, host: Host, cpu: int) -> BroadcastMember:

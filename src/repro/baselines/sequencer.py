@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Optional
 
-from repro.baselines.common import _PROC_IDS, BroadcastGroup
+from repro.baselines.common import BroadcastGroup
 from repro.net.rpc import Messenger
 from repro.net.topology import Topology
 from repro.sim import Simulator
@@ -58,7 +58,7 @@ class SequencerBroadcast(BroadcastGroup):
         # The sequencer lives on the *last* host of the topology so group
         # members (placed from the front) do not share its NIC.
         self._seq_host = topology.hosts[-1]
-        self._seq_proc = next(_PROC_IDS)
+        self._seq_proc = self.next_proc_id()
         if sequencer_cpu_ns is None:
             sequencer_cpu_ns = (
                 SWITCH_SEQ_CPU_NS if kind == "switch" else HOST_SEQ_CPU_NS

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli chaos --episodes 100 --seed 7
     python -m repro.cli verify --episodes 25 --seed 1
     python -m repro.cli observe --hosts 8 --seed 1
+    python -m repro.cli shootout --seed 1
 
 Each subcommand builds the paper's 32-host testbed, runs a short
 deterministic simulation, and prints a summary.
@@ -18,7 +19,6 @@ deterministic simulation, and prints a summary.
 from __future__ import annotations
 
 import argparse
-import statistics
 import sys
 
 from repro.onepipe import OnePipeCluster, OnePipeConfig
@@ -41,6 +41,8 @@ def cmd_topology(args) -> int:
 
 
 def cmd_latency(args) -> int:
+    from repro.bench.harness import LatencyProbe
+
     sim = Simulator(seed=args.seed)
     cluster = OnePipeCluster(
         sim,
@@ -49,17 +51,14 @@ def cmd_latency(args) -> int:
             mode=args.mode, beacon_interval_ns=args.beacon_us * 1000
         ),
     )
-    sends = {}
-    latencies = []
+    probe = LatencyProbe(sim)
     for i in range(args.processes):
-        cluster.endpoint(i).on_recv(
-            lambda m: latencies.append(sim.now - sends[m.payload])
-        )
+        cluster.endpoint(i).on_recv(lambda m: probe.mark_delivered(m.payload))
 
     def send(k):
         sender = k % args.processes
         dst = (sender + args.processes // 2 + 1) % args.processes
-        sends[k] = sim.now
+        probe.mark_sent(k)
         ep = cluster.endpoint(sender)
         fn = ep.reliable_send if args.reliable else ep.unreliable_send
         fn([(dst, k)])
@@ -67,14 +66,14 @@ def cmd_latency(args) -> int:
     for k in range(args.count):
         sim.schedule(50_000 + k * 10_000, send, k)
     sim.run(until=50_000 + args.count * 10_000 + 1_000_000)
-    if not latencies:
+    if not probe.latencies:
         print("no deliveries — check parameters", file=sys.stderr)
         return 1
     service = "reliable" if args.reliable else "best-effort"
     print(f"{service} 1Pipe, mode={args.mode}, "
-          f"{args.processes} processes, {len(latencies)} probes")
-    print(f"  mean {statistics.mean(latencies) / 1000:.2f} us   "
-          f"p95 {sorted(latencies)[int(len(latencies) * 0.95) - 1] / 1000:.2f} us")
+          f"{args.processes} processes, {len(probe.latencies)} probes")
+    print(f"  mean {probe.mean_us():.2f} us   "
+          f"p95 {probe.percentile_us(95):.2f} us")
     return 0
 
 
@@ -417,6 +416,66 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def cmd_shootout(args) -> int:
+    from repro.baselines.shootout import (
+        PROTOCOLS,
+        SCENARIO_NAMES,
+        ShootoutRunner,
+        write_report,
+    )
+
+    protocols = (
+        tuple(args.protocols.split(",")) if args.protocols else PROTOCOLS
+    )
+    scenarios = (
+        tuple(args.scenarios.split(",")) if args.scenarios else SCENARIO_NAMES
+    )
+
+    def progress(cell):
+        n_viol = len(cell["violations"])
+        status = "ok" if n_viol == 0 else f"{n_viol} VIOLATIONS"
+        latency = cell["latency"]
+        print(f"{cell['scenario']:9s} {cell['protocol']:12s} "
+              f"delivered {cell['delivery_permille']:4d}/1000  "
+              f"p50 {latency['p50_ns'] / 1000:8.1f} us  "
+              f"recovery {cell['recovery_stall_ns'] / 1000:8.1f} us  "
+              f"{status}")
+
+    runner = ShootoutRunner(
+        seed=args.seed,
+        protocols=protocols,
+        scenarios=scenarios,
+        n_members=args.members,
+        metrics=args.metrics,
+        jobs=args.jobs,
+        progress=progress if not args.quiet else None,
+    )
+    report = runner.run()
+    write_report(report, args.out)
+    n_cells = len(protocols) * len(scenarios)
+    print(f"{n_cells} cells ({len(scenarios)} scenarios x "
+          f"{len(protocols)} protocols), "
+          f"{report['total_contract_violations']} contract violations "
+          f"-> {args.out}")
+    for entry in report["scenarios"]:
+        summary = report["crossover"][entry["scenario"]]
+        line = (f"  {entry['scenario']:9s} fastest p50: "
+                f"{summary['lowest_p50_latency']}")
+        versus = summary.get("onepipe_vs_best_baseline")
+        if versus:
+            line += (f"  (1pipe p50 = {versus['p50_ratio_milli']}/1000 "
+                     f"of best baseline {versus['baseline']})")
+        print(line)
+    if report["total_contract_violations"]:
+        for entry in report["scenarios"]:
+            for protocol, cell in entry["cells"].items():
+                for violation in cell["violations"]:
+                    print(f"VIOLATION {entry['scenario']}/{protocol}: "
+                          f"{violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_workload(args) -> int:
     from repro.workload import get_scenario, run_scenario, write_report
 
@@ -569,6 +628,31 @@ def build_parser() -> argparse.ArgumentParser:
     observe.add_argument("--out-trace",
                          default="results/observe_trace.json")
 
+    shootout = sub.add_parser(
+        "shootout", help="baseline shootout: every total-order protocol "
+                         "under identical chaos, per-protocol contract "
+                         "oracles, crossover report"
+    )
+    shootout.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                          help="shootout seed (overrides the global --seed)")
+    shootout.add_argument("--protocols", default=None,
+                          help="comma-separated subset (default: lamport,"
+                               "sequencer,token,epto,switchpaxos,onepipe)")
+    shootout.add_argument("--scenarios", default=None,
+                          help="comma-separated subset (default: clean,"
+                               "crash,gray,degraded)")
+    shootout.add_argument("--members", type=int, default=8,
+                          help="broadcast group size")
+    shootout.add_argument("--metrics", action="store_true",
+                          help="embed per-cell metrics summaries in the "
+                               "report (see docs/OBSERVABILITY.md)")
+    shootout.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for cells (the report is "
+                               "byte-identical for any job count)")
+    shootout.add_argument("--quiet", action="store_true",
+                          help="suppress per-cell progress lines")
+    shootout.add_argument("--out", default="results/shootout_k4.json")
+
     workload = sub.add_parser(
         "workload", help="open-loop multi-tenant overload scenarios "
                          "with admission control + per-tenant SLOs"
@@ -662,6 +746,7 @@ COMMANDS = {
     "verify": cmd_verify,
     "workload": cmd_workload,
     "hyperscale": cmd_hyperscale,
+    "shootout": cmd_shootout,
 }
 
 

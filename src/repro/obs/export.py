@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "KNOWN_BYZ_METRICS",
     "KNOWN_HYBRID_METRICS",
+    "KNOWN_SHOOTOUT_METRICS",
     "KNOWN_WORKLOAD_METRICS",
     "METRICS_SCHEMA",
     "WORKLOAD_TENANT_COUNTERS",
@@ -99,6 +100,17 @@ KNOWN_HYBRID_METRICS = frozenset({
     "hybrid.promotions_fault",         # cold pods gone hot: fault schedule
     "hybrid.promotions_watched",       # hot from the start: watched endpoints
     "hybrid.windows",               # cold-fabric barriers executed
+})
+
+
+# The baseline-shootout counters (docs/BASELINES.md).  Same closure
+# rationale: the shootout-smoke CI job compares reports byte-for-byte,
+# so the ``shootout.`` namespace admits only the counters the shootout
+# cell runner emits.
+KNOWN_SHOOTOUT_METRICS = frozenset({
+    "shootout.broadcasts_sent",      # traffic driver: broadcasts issued
+    "shootout.contract_violations",  # contract oracle: rules broken
+    "shootout.messages_delivered",   # members: deliveries recorded
 })
 
 
@@ -247,6 +259,15 @@ def validate_metrics_report(report: Any) -> List[str]:
                     problems.append(
                         f"counter {name!r} not a registered hybrid.* metric "
                         f"(see KNOWN_HYBRID_METRICS)"
+                    )
+                if (
+                    isinstance(name, str)
+                    and name.startswith("shootout.")
+                    and name not in KNOWN_SHOOTOUT_METRICS
+                ):
+                    problems.append(
+                        f"counter {name!r} not a registered shootout.* "
+                        f"metric (see KNOWN_SHOOTOUT_METRICS)"
                     )
         histograms = metrics.get("histograms")
         if isinstance(histograms, dict):

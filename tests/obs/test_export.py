@@ -4,6 +4,7 @@ import json
 
 from repro.obs.export import (
     KNOWN_HYBRID_METRICS,
+    KNOWN_SHOOTOUT_METRICS,
     METRICS_SCHEMA,
     build_chrome_trace,
     build_metrics_report,
@@ -90,6 +91,20 @@ class TestMetricsReport:
         report = build_metrics_report(reg)
         problems = validate_metrics_report(report)
         assert any("not a registered hybrid.*" in p for p in problems)
+
+    def test_registered_shootout_counters_pass(self):
+        reg = _populated_registry()
+        for name in sorted(KNOWN_SHOOTOUT_METRICS):
+            reg.counter(name).add(1)
+        report = build_metrics_report(reg)
+        assert validate_metrics_report(report) == []
+
+    def test_unregistered_shootout_counter_rejected(self):
+        reg = _populated_registry()
+        reg.counter("shootout.bogus").add(1)
+        report = build_metrics_report(reg)
+        problems = validate_metrics_report(report)
+        assert any("not a registered shootout.*" in p for p in problems)
 
 
 class TestChromeTrace:

@@ -26,6 +26,32 @@ def test_latency_reliable(capsys):
     assert "reliable 1Pipe" in capsys.readouterr().out
 
 
+def test_latency_p95_uses_ceil_rank(monkeypatch, capsys):
+    """Regression: the p95 line once used ``sorted(x)[int(n*0.95)-1]``,
+    a truncating rank that read ~p85 on small sample counts.  The CLI
+    now delegates to LatencyProbe's ceil-rank percentile."""
+    from repro.bench import harness
+
+    class CannedProbe(harness.LatencyProbe):
+        def __init__(self, sim):
+            super().__init__(sim)
+            self.latencies = list(range(1_000, 11_000, 1_000))
+
+        def mark_sent(self, tag):
+            pass
+
+        def mark_delivered(self, tag):
+            pass
+
+    monkeypatch.setattr(harness, "LatencyProbe", CannedProbe)
+    assert main(["latency", "--processes", "4", "--count", "5"]) == 0
+    out = capsys.readouterr().out
+    # Ceil rank over 10 samples: p95 is the max (10 us).  The old
+    # truncating formula reported rank 9 (9.00 us).
+    assert "p95 10.00 us" in out
+    assert "mean 5.50 us" in out
+
+
 def test_broadcast_onepipe(capsys):
     assert main(["broadcast", "--processes", "4"]) == 0
     assert "1pipe" in capsys.readouterr().out
@@ -95,6 +121,38 @@ def test_bench_accepts_subcommand_seed(tmp_path, capsys):
     capsys.readouterr()
     report = json.loads(open(out).read())
     assert report["seed"] == 7
+
+
+def test_shootout_small_grid(tmp_path, capsys):
+    import json
+    out = str(tmp_path / "shootout.json")
+    assert main([
+        "shootout", "--seed", "3", "--members", "4",
+        "--protocols", "sequencer,switchpaxos",
+        "--scenarios", "clean,crash", "--out", out,
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "4 cells" in text
+    assert "0 contract violations" in text
+    report = json.loads(open(out).read())
+    assert report["ok"] is True
+    assert report["shootout"]["seed"] == 3
+    assert len(report["scenarios"]) == 2
+    cells = report["scenarios"][0]["cells"]
+    assert set(cells) == {"sequencer", "switchpaxos"}
+    for cell in cells.values():
+        assert cell["delivery_permille"] == 1000
+
+
+def test_shootout_global_seed_matches_subcommand_seed(tmp_path, capsys):
+    args = ["--members", "4", "--protocols", "sequencer",
+            "--scenarios", "clean", "--quiet"]
+    out_a = str(tmp_path / "a.json")
+    out_b = str(tmp_path / "b.json")
+    assert main(["shootout", "--seed", "9", *args, "--out", out_a]) == 0
+    assert main(["--seed", "9", "shootout", *args, "--out", out_b]) == 0
+    capsys.readouterr()
+    assert open(out_a, "rb").read() == open(out_b, "rb").read()
 
 
 def test_verify_clean_run(tmp_path, capsys):
